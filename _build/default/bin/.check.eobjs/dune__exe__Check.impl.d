@@ -1,0 +1,1 @@
+bin/check.ml: Arg Array Baselines Cmd Cmdliner Fp Funcs List Oracle Printf Rlibm Term

@@ -1,0 +1,1 @@
+bin/generate.ml: Arg Array Cmd Cmdliner Funcs List Printf Rlibm Term Unix

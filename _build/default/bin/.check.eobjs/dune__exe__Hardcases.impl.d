@@ -1,0 +1,1 @@
+bin/hardcases.ml: Arg Array Cmd Cmdliner Fp Funcs List Oracle Printf Rational Rlibm Term

@@ -1,0 +1,1 @@
+bin/report.ml: Array Baselines Fp Funcs List Oracle Printf Rlibm

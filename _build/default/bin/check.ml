@@ -1,0 +1,146 @@
+(* Correctness checker: Tables 1 and 2 of the paper.
+
+   For every function and every library, count wrong results over two
+   input sets:
+
+   - the generation enumeration (the RLIBM function is validated on it,
+     mirroring the paper's all-inputs guarantee at our sampled scale);
+   - a disjoint fresh stratified sample (measures the sampling residue
+     of scaled-down generation — see DESIGN.md).
+
+   Ground truth is the special-case analysis (machine-checked in the
+   test suite) plus the arbitrary-precision oracle. *)
+
+module R = Fp.Representation
+module G = Rlibm.Generator
+
+let value_equal (module T : R.S) a b =
+  a = b
+  ||
+  match (T.classify a, T.classify b) with
+  | R.Finite, R.Finite -> T.to_double a = T.to_double b
+  | R.Nan, R.Nan -> true
+  | _ -> false
+
+type lib = { lname : string; eval : int -> int }
+
+let libraries (t : Funcs.Specs.target) name (g : G.generated) =
+  let module T = (val t.repr) in
+  let spec = g.spec in
+  [
+    { lname = "rlibm-32"; eval = G.eval_pattern g };
+    { lname = "libm-float(native)"; eval = Baselines.Native.eval_pattern Baselines.Native.F32 t name };
+    { lname = "libm-double(native)"; eval = Baselines.Native.eval_pattern Baselines.Native.F64 t name };
+    { lname = "glibc-double"; eval = Baselines.Double_libm.eval t.repr name };
+    {
+      lname = "crlibm(double-rounded)";
+      eval =
+        (fun pat ->
+          match spec.special pat with
+          | Some y -> y
+          | None -> Baselines.Crlibm_analog.round_via_double t.repr spec.oracle pat);
+    };
+  ]
+
+let check_function (t : Funcs.Specs.target) name ~fresh_per_stratum ~quality =
+  let module T = (val t.repr) in
+  let g = Funcs.Libm.get ~quality t name in
+  let libs = libraries t name g in
+  let truth pat =
+    match g.spec.special pat with
+    | Some y -> y
+    | None ->
+        Oracle.Elementary.correctly_rounded ~round:T.round_rational g.spec.oracle
+          (T.to_rational pat)
+  in
+  let count patterns =
+    let wrong = Array.make (List.length libs) 0 in
+    Array.iter
+      (fun pat ->
+        let want = truth pat in
+        List.iteri
+          (fun i l -> if not (value_equal (module T) (l.eval pat) want) then wrong.(i) <- wrong.(i) + 1)
+          libs)
+      patterns;
+    wrong
+  in
+  let gen_set = Funcs.Libm.enumeration t quality in
+  let fresh =
+    (* 16-bit targets are exhaustive already: the "fresh" column would
+       re-check the same ground truth. *)
+    if Array.length gen_set = 65536 then [||]
+    else Rlibm.Enumerate.stratified32 ~seed:77 ~per_stratum:fresh_per_stratum ()
+  in
+  let w_gen = count gen_set and w_fresh = count fresh in
+  Printf.printf "%-7s | %8s %8s | %s\n" name "enum" "fresh" "library";
+  List.iteri
+    (fun i l ->
+      Printf.printf "        | %8d %8d | %s\n" w_gen.(i) w_fresh.(i) l.lname)
+    libs;
+  Printf.printf "          (enum = %d inputs, fresh = %d inputs)\n%!" (Array.length gen_set)
+    (Array.length fresh)
+
+let run_table (t : Funcs.Specs.target) names ~fresh_per_stratum ~quality =
+  Printf.printf "=== %s correctness (wrong-result counts; paper Table %s) ===\n%!" t.tname
+    (if t.tname = "posit32" then "2" else "1");
+  List.iter
+    (fun name ->
+      try check_function t name ~fresh_per_stratum ~quality
+      with Failure msg -> Printf.printf "%-7s | GENERATION FAILED: %s\n%!" name msg)
+    names
+
+open Cmdliner
+
+let quality_term =
+  let q =
+    Arg.(value
+         & opt (enum [ ("quick", Funcs.Libm.Quick); ("full", Funcs.Libm.Full) ]) Funcs.Libm.Quick
+         & info [ "quality" ]
+             ~doc:"Generation quality: quick (8/stratum, default) or full (24/stratum).")
+  in
+  q
+
+let fresh_term =
+  Arg.(value & opt int 8 & info [ "fresh-per-stratum" ] ~doc:"Fresh-sample density per stratum.")
+
+let funcs_term =
+  Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Check only this function (repeatable).")
+
+let table1 quality fresh fns =
+  let names = if fns = [] then Funcs.Specs.float_functions else fns in
+  run_table Funcs.Specs.float32 names ~fresh_per_stratum:fresh ~quality
+
+let table2 quality fresh fns =
+  let names = if fns = [] then Funcs.Specs.posit_functions else fns in
+  run_table Funcs.Specs.posit32 names ~fresh_per_stratum:fresh ~quality
+
+(* Table 1/2 with nothing sampled: every input of every 16-bit target.
+   This is the scale where our guarantee equals the paper's. *)
+let table16 quality fresh fns =
+  List.iter
+    (fun (t : Funcs.Specs.target) ->
+      let names =
+        if fns <> [] then fns
+        else if t.tname = "posit16" then Funcs.Specs.posit_functions
+        else Funcs.Specs.float_functions
+      in
+      run_table t names ~fresh_per_stratum:fresh ~quality)
+    [ Funcs.Specs.bfloat16; Funcs.Specs.float16; Funcs.Specs.posit16 ]
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Float32 correctness table (paper Table 1)")
+    Term.(const table1 $ quality_term $ fresh_term $ funcs_term)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Posit32 correctness table (paper Table 2)")
+    Term.(const table2 $ quality_term $ fresh_term $ funcs_term)
+
+let table16_cmd =
+  Cmd.v
+    (Cmd.info "table16"
+       ~doc:"Exhaustive 16-bit correctness tables (every input of bfloat16/float16/posit16)")
+    Term.(const table16 $ quality_term $ fresh_term $ funcs_term)
+
+let () =
+  let info = Cmd.info "check" ~doc:"RLIBM-32 correctness experiments (Tables 1-2)" in
+  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd ]))

@@ -1,0 +1,61 @@
+(* Generator driver: Table 3 of the paper (generation statistics), plus
+   one-off generation of any (function, target) with tunable knobs. *)
+
+open Cmdliner
+
+let target_of = function
+  | "float32" -> Funcs.Specs.float32
+  | "posit32" -> Funcs.Specs.posit32
+  | "bfloat16" -> Funcs.Specs.bfloat16
+  | "float16" -> Funcs.Specs.float16
+  | "posit16" -> Funcs.Specs.posit16
+  | t -> invalid_arg ("unknown target: " ^ t)
+
+let names_for (t : Funcs.Specs.target) =
+  match t.tname with
+  | "posit32" | "posit16" -> Funcs.Specs.posit_functions
+  | _ -> Funcs.Specs.float_functions
+
+let run_one (t : Funcs.Specs.target) quality name =
+  let t0 = Unix.gettimeofday () in
+  match Funcs.Libm.get ~quality t name with
+  | g ->
+      let wall = Unix.gettimeofday () -. t0 in
+      let s = g.Rlibm.Generator.stats in
+      Array.iter
+        (fun (c : Rlibm.Stats.component) ->
+          Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name t.tname
+            c.cname wall s.n_inputs s.n_special c.n_constraints c.split_bits c.degree c.n_terms)
+        s.per_component
+  | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name t.tname msg
+
+let stats targets quality fns =
+  Printf.printf "%-7s %-9s %-10s %6s %9s %7s %7s  %-5s %4s %4s\n" "func" "target" "component"
+    "time_s" "inputs" "special" "reduced" "polys" "deg" "terms";
+  List.iter
+    (fun tname ->
+      let t = target_of tname in
+      let names = if fns = [] then names_for t else fns in
+      List.iter (run_one t quality) names)
+    targets
+
+let targets_term =
+  Arg.(value & opt_all string [ "float32"; "posit32" ]
+       & info [ "t"; "target" ] ~doc:"Target representation (repeatable).")
+
+let quality_term =
+  Arg.(value
+       & opt (enum [ ("quick", Funcs.Libm.Quick); ("full", Funcs.Libm.Full) ]) Funcs.Libm.Quick
+       & info [ "quality" ] ~doc:"Generation quality (quick default; full = 3x the enumeration).")
+
+let funcs_term =
+  Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Generate only this function.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
+    Term.(const stats $ targets_term $ quality_term $ funcs_term)
+
+let () =
+  let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
+  exit (Cmd.eval (Cmd.group ~default:Term.(const (fun () -> stats [ "float32"; "posit32" ] Funcs.Libm.Quick []) $ const ()) info [ stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/cospi_case_study.ml: Array Float Fp Funcs Lazy List Oracle Printf Rational Rlibm Stdlib

@@ -1,0 +1,1 @@
+examples/cospi_case_study.mli:

@@ -1,0 +1,1 @@
+examples/exhaustive16.ml: Array Baselines Fp Funcs List Oracle Printf Rlibm Sys

@@ -1,0 +1,1 @@
+examples/exhaustive16.mli:

@@ -1,0 +1,1 @@
+examples/posit_tour.ml: Float Funcs List Oracle Posit Printf Rational Rlibm

@@ -1,0 +1,1 @@
+examples/posit_tour.mli:

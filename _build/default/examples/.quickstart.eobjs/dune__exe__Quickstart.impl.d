@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Fp Funcs List Oracle Printf Rlibm

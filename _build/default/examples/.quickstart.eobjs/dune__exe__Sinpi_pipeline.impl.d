@@ -1,0 +1,1 @@
+examples/sinpi_pipeline.ml: Array Fp Funcs List Oracle Printf Rational Rlibm

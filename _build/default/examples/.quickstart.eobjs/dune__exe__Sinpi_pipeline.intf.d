@@ -1,0 +1,1 @@
+examples/sinpi_pipeline.mli:

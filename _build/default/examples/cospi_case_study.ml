@@ -1,0 +1,103 @@
+(* Section 5 of the paper: why cospi's output compensation must be
+   redesigned for monotonicity.
+
+   Run with:  dune exec examples/cospi_case_study.exe
+
+   The textbook identity
+       cospi(N/512 + Q) = cpn*cospi(Q) - spn*sinpi(Q)
+   mixes coefficient signs, so output compensation is NOT monotone in the
+   component values and suffers cancellation.  The paper rewrites it as
+       cospi(N'/512 - R) = cpn'*cospi(R) + spn'*sinpi(R)
+   with all coefficients non-negative.  This example measures what that
+   buys: under both compensations, whether the box that Algorithm 2
+   certifies actually maps into the rounding interval at all four
+   corners — the property the generator's soundness rests on. *)
+
+module Q = Rational
+module E = Oracle.Elementary
+module T = Fp.Fp32
+module S = Rlibm.Spec
+
+(* The naive (non-monotonic) cospi reduction: L' = N/512 + Qfrac. *)
+let naive_reduce x =
+  let z = Float.abs x in
+  let k, l = Funcs.Reductions.mod2_split z in
+  let m, l' = if l > 0.5 then (1, 1.0 -. l) else (0, l) in
+  let n = Stdlib.min (Float.to_int (l' *. 512.0)) 255 in
+  let r = l' -. (float_of_int n /. 512.0) in
+  let s = (if k = 1 then -1 else 1) * if m = 1 then -1 else 1 in
+  { S.r; key = n lor ((if s < 0 then 1 else 0) lsl 9) }
+
+let naive_compensate (rr : S.reduction) (v : float array) =
+  let n = rr.key land 0x1FF in
+  let s = if rr.key land (1 lsl 9) <> 0 then -1.0 else 1.0 in
+  let spn = (Lazy.force Funcs.Tables.sinpi_n).(n) and cpn = (Lazy.force Funcs.Tables.cospi_n).(n) in
+  (* Mixed signs: +cpn*cos, -spn*sin. *)
+  s *. ((cpn *. v.(1)) -. (spn *. v.(0)))
+
+let naive_spec monotone =
+  let base = Funcs.Specs.cospi Funcs.Specs.float32 in
+  if monotone then base else { base with reduce = naive_reduce; compensate = naive_compensate }
+
+let () =
+  print_endline "== cospi output compensation: naive vs monotone (paper §5) ==\n";
+  let test_inputs =
+    List.filter_map
+      (fun x ->
+        let pat = T.of_double x in
+        let spec = naive_spec true in
+        if spec.special pat = None then Some pat else None)
+      (List.init 400 (fun i -> (float_of_int (i + 3) *. 0.0172) +. 0.002))
+  in
+  Printf.printf "inputs under study: %d float32 values in (0, ~7)\n\n" (List.length test_inputs);
+  let deduce spec pat =
+    let y = E.correctly_rounded ~round:T.round_rational spec.S.oracle (T.to_rational pat) in
+    let iv = Rlibm.Rounding.interval spec.repr y in
+    (iv, Rlibm.Reduced.deduce spec ~pattern:pat ~interval:iv)
+  in
+  (* Algorithm 2 certifies the box [lo_s,hi_s] x [lo_c,hi_c] by its
+     joint-widening construction.  Soundness of the generator needs
+     OC(box) inside the rounding interval for EVERY corner: with the §5
+     monotone form that follows from monotonicity; with the naive mixed-
+     sign form the mixed corners escape — exactly what this measures. *)
+  let corner_escapes tag monotone =
+    let spec = naive_spec monotone in
+    let fails = ref 0 and escapes = ref 0 and total = ref 0 in
+    List.iter
+      (fun pat ->
+        match deduce spec pat with
+        | _, Error _ -> incr fails
+        | iv, Ok (rr, cons) ->
+            incr total;
+            let s = cons.(0) and c = cons.(1) in
+            let corners =
+              [ (s.lo, c.lo); (s.lo, c.hi); (s.hi, c.lo); (s.hi, c.hi) ]
+            in
+            if
+              List.exists
+                (fun (vs, vc) -> not (Rlibm.Rounding.contains iv (spec.compensate rr [| vs; vc |])))
+                corners
+            then incr escapes)
+      test_inputs;
+    Printf.printf "%-28s: %3d deduction failures, %3d/%3d inputs with an escaping box corner\n"
+      tag !fails !escapes !total;
+    !escapes
+  in
+  let esc_naive = corner_escapes "naive compensation" false in
+  let esc_mono = corner_escapes "monotone compensation (S5)" true in
+  print_newline ();
+  Printf.printf
+    "the naive identity leaves %d inputs whose certified box is unsound; the S5 rewrite leaves %d.\n"
+    esc_naive esc_mono;
+  print_endline "\nwhy: with mixed signs (+cpn, -spn), the box guarantee only covers joint";
+  print_endline "movement of both components; a polynomial pair free to sit at opposite";
+  print_endline "ends of its intervals (a mixed corner) drives the two terms apart and";
+  print_endline "the compensated output leaves the rounding interval.  With non-negative";
+  print_endline "coefficients every corner moves the output monotonically, so the whole";
+  print_endline "box stays certified.";
+
+  (* The generated cospi still validates end to end. *)
+  let g = Funcs.Libm.get ~quality:Funcs.Libm.Quick Funcs.Specs.float32 "cospi" in
+  let cospi x = T.to_double (Rlibm.Generator.eval_pattern g (T.of_double x)) in
+  Printf.printf "\ngenerated cospi spot checks: cospi(1/3) = %.9g, cospi(100.5) = %g, cospi(7) = %g\n"
+    (cospi (1.0 /. 3.0)) (cospi 100.5) (cospi 7.0)

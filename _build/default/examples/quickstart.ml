@@ -1,0 +1,50 @@
+(* Quickstart: generate a correctly rounded function and use it.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   This generates log2 for bfloat16 — small enough that the generator
+   enumerates and validates EVERY input, the paper's full guarantee —
+   then uses the generated function and shows it agreeing with the
+   arbitrary-precision oracle where the system libm does not have to. *)
+
+let () =
+  print_endline "== RLIBM-32 quickstart: a correctly rounded bfloat16 log2 ==\n";
+
+  (* 1. Generate (or fetch from the in-process cache). *)
+  let g = Funcs.Libm.get Funcs.Specs.bfloat16 "log2" in
+  let s = g.Rlibm.Generator.stats in
+  Printf.printf "generated %s for %s: %d inputs enumerated, %d special-cased,\n" s.name
+    s.repr_name s.n_inputs s.n_special;
+  Printf.printf "%d reduced constraints, validated on every enumerated input.\n\n" s.n_reduced;
+
+  (* 2. Use it: patterns in, patterns out. *)
+  let module T = Fp.Bfloat16 in
+  let log2 x = T.to_double (Rlibm.Generator.eval_pattern g (T.of_double x)) in
+  List.iter
+    (fun x -> Printf.printf "  log2(%-8g) = %-12g   (glibc double says %.6f)\n" x (log2 x) (Float.log2 x))
+    [ 1.0; 2.0; 0.5; 10.0; 1.5; 3.14159; 1e10; 1e-10 ];
+
+  (* 3. What "correctly rounded" buys: agreement with the exact result
+     rounded once, on every single input. *)
+  let wrong = ref 0 and total = ref 0 in
+  for pat = 0 to 65535 do
+    match g.spec.special pat with
+    | Some _ -> ()
+    | None ->
+        incr total;
+        let want =
+          Oracle.Elementary.correctly_rounded ~round:T.round_rational g.spec.oracle
+            (T.to_rational pat)
+        in
+        if Rlibm.Generator.eval_pattern g pat <> want then incr wrong
+  done;
+  Printf.printf "\nexhaustive check against the oracle: %d wrong out of %d non-special inputs\n"
+    !wrong !total;
+
+  (* 4. The same pipeline scales to float32 (sampled enumeration). *)
+  print_endline "\ngenerating float32 log2 (stratified enumeration)...";
+  let g32 = Funcs.Libm.get ~quality:Funcs.Libm.Quick Funcs.Specs.float32 "log2" in
+  let log2f x = Fp.Fp32.to_double (Rlibm.Generator.eval_pattern g32 (Fp.Fp32.of_double x)) in
+  Printf.printf "  float32 log2(0.7) = %.9g\n" (log2f 0.7);
+  Printf.printf "  float32 log2(6.02e23) = %.9g\n" (log2f 6.02e23);
+  print_endline "\ndone. See examples/sinpi_pipeline.exe for the paper's Section 2 walkthrough."

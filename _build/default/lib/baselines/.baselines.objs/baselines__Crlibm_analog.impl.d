@@ -1,0 +1,1 @@
+lib/baselines/crlibm_analog.ml: Array Float Fp Funcs Hashtbl Int64 Lazy Minimax Oracle Rational

@@ -1,0 +1,1 @@
+lib/baselines/double_libm.ml: Float Fp

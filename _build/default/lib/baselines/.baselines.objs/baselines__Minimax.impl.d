@@ -1,0 +1,1 @@
+lib/baselines/minimax.ml: Array Float Oracle Rational

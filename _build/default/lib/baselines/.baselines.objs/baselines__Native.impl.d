@@ -1,0 +1,1 @@
+lib/baselines/native.ml: Array Float Funcs Int32 Lazy Minimax Oracle Rational

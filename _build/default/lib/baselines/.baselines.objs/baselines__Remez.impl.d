@@ -1,0 +1,1 @@
+lib/baselines/remez.ml: Array Float List Minimax Oracle Rational

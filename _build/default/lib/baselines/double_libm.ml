@@ -1,0 +1,32 @@
+(* The "repurposed double library" comparator of §4.1: convert the
+   target value to double, call the system's double libm (OCaml's float
+   primitives are exactly glibc's double functions in this environment),
+   and round the double result back to the target.
+
+   This is the genuine article, not a simulation: Table 1's "glibc
+   double" column and Table 2's posit32 columns are the paper's
+   measurements of exactly this composition, whose failures come from
+   the double result landing on the wrong side of a target rounding
+   boundary (and, for posits, from double overflow/underflow where
+   posits saturate). *)
+
+let pi = 4.0 *. Float.atan 1.0
+
+let fn = function
+  | "ln" -> Float.log
+  | "log2" -> Float.log2
+  | "log10" -> Float.log10
+  | "exp" -> Float.exp
+  | "exp2" -> Float.exp2
+  | "exp10" -> fun x -> Float.pow 10.0 x
+  | "sinh" -> Float.sinh
+  | "cosh" -> Float.cosh
+  (* No sinpi/cospi in libm: the usual user spelling. *)
+  | "sinpi" -> fun x -> Float.sin (pi *. x)
+  | "cospi" -> fun x -> Float.cos (pi *. x)
+  | name -> invalid_arg ("Double_libm.fn: unknown function " ^ name)
+
+(** Pattern-level comparator for target [T]. *)
+let eval (module T : Fp.Representation.S) name =
+  let f = fn name in
+  fun pat -> T.of_double (f (T.to_double pat))

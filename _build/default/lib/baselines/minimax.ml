@@ -1,0 +1,71 @@
+(* Near-minimax real-value polynomial generation, standing in for the
+   Remez/Sollya machinery behind the comparator libraries (glibc, Intel,
+   MetaLibm — §6).
+
+   Interpolation at Chebyshev nodes is within a small factor of the true
+   minimax polynomial; the coefficients come from an exact rational
+   Vandermonde solve against oracle values, so the only approximation is
+   the mathematical interpolation error.  This is the philosophical
+   opposite of the RLIBM approach the paper argues for: these
+   polynomials chase the *real value* of f, not the correctly rounded
+   value, and their misroundings in Table 1 are the paper's point. *)
+
+module Q = Rational
+module E = Oracle.Elementary
+
+(* Solve the linear system A c = y exactly (Gaussian elimination with
+   partial pivoting by magnitude).  Sizes here are tiny (degree <= 10). *)
+let solve_exact (a : Q.t array array) (y : Q.t array) =
+  let n = Array.length y in
+  let m = Array.init n (fun i -> Array.append (Array.copy a.(i)) [| y.(i) |]) in
+  for col = 0 to n - 1 do
+    (* Pivot: largest |entry| in this column. *)
+    let best = ref col in
+    for row = col + 1 to n - 1 do
+      if Q.compare (Q.abs m.(row).(col)) (Q.abs m.(!best).(col)) > 0 then best := row
+    done;
+    let tmp = m.(col) in
+    m.(col) <- m.(!best);
+    m.(!best) <- tmp;
+    if Q.is_zero m.(col).(col) then invalid_arg "Minimax.solve_exact: singular system";
+    for row = 0 to n - 1 do
+      if row <> col && not (Q.is_zero m.(row).(col)) then begin
+        let f = Q.div m.(row).(col) m.(col).(col) in
+        for j = col to n do
+          m.(row).(j) <- Q.sub m.(row).(j) (Q.mul f m.(col).(j))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i -> Q.div m.(i).(n) m.(i).(i))
+
+(** [interpolate f ~lo ~hi ~degree] fits f at [degree+1] Chebyshev nodes
+    of [lo, hi] and returns double coefficients (lowest power first). *)
+let interpolate (f : E.fn) ~lo ~hi ~degree =
+  let n = degree + 1 in
+  let mid = (lo +. hi) /. 2.0 and rad = (hi -. lo) /. 2.0 in
+  let nodes =
+    Array.init n (fun i ->
+        mid +. (rad *. Float.cos (Float.pi *. (float_of_int ((2 * i) + 1) /. float_of_int (2 * n)))))
+  in
+  let y = Array.map (fun x -> Q.of_float (E.to_double f (Q.of_float x))) nodes in
+  let a =
+    Array.map
+      (fun x ->
+        let qx = Q.of_float x in
+        let row = Array.make n Q.one in
+        for j = 1 to n - 1 do
+          row.(j) <- Q.mul row.(j - 1) qx
+        done;
+        row)
+      nodes
+  in
+  Array.map Q.to_float (solve_exact a y)
+
+(** Dense Horner in double. *)
+let horner coeffs x =
+  let acc = ref coeffs.(Array.length coeffs - 1) in
+  for i = Array.length coeffs - 2 downto 0 do
+    acc := coeffs.(i) +. (!acc *. x)
+  done;
+  !acc

@@ -1,0 +1,95 @@
+(** Arbitrary-precision signed integers.
+
+    This module is the bottom substrate of the RLIBM-32 reproduction: the
+    exact rationals used by the LP solver ({!Rational}) and the
+    arbitrary-precision binary floats used by the oracle
+    ({!Oracle.Bigfloat}) are both built on it.  The representation is
+    sign-magnitude with little-endian limbs in base [2^31], so every limb
+    product fits in OCaml's native 63-bit [int] without overflow. *)
+
+type t
+
+(** {1 Constants and constructors} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+(** [of_string s] parses an optionally signed decimal literal.
+    @raise Invalid_argument on a malformed literal. *)
+val of_string : string -> t
+
+(** {1 Conversions} *)
+
+(** [to_int t] is [Some n] when [t] fits in a native [int]. *)
+val to_int : t -> int option
+
+(** [to_int_exn t] is [t] as a native [int].
+    @raise Failure when [t] does not fit. *)
+val to_int_exn : t -> int
+
+(** [to_float t] is [t] rounded to the nearest double (ties to even). *)
+val to_float : t -> float
+
+val to_string : t -> string
+
+(** {1 Queries} *)
+
+(** [sign t] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [bit_length t] is the position of the highest set bit of [|t|] plus
+    one; [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+(** [testbit t i] is bit [i] of the magnitude of [t]. *)
+val testbit : t -> int -> bool
+
+(** [is_even t] holds when the magnitude of [t] is even. *)
+val is_even : t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated towards zero,
+    so [r] carries the sign of [a] and [|r| < |b|].
+    @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [shift_left t k] is [t * 2^k]; [k >= 0]. *)
+val shift_left : t -> int -> t
+
+(** [shift_right t k] is [t / 2^k] truncated towards zero; [k >= 0]. *)
+val shift_right : t -> int -> t
+
+(** [pow t k] is [t^k] for [k >= 0]. *)
+val pow : t -> int -> t
+
+(** [gcd a b] is the non-negative greatest common divisor (binary GCD). *)
+val gcd : t -> t -> t
+
+val add_int : t -> int -> t
+val mul_int : t -> int -> t
+
+(** [trailing_zeros t] counts the low zero bits of a nonzero [t].
+    @raise Invalid_argument on zero. *)
+val trailing_zeros : t -> int
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

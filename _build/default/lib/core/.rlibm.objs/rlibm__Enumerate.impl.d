@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Array Config Float Fp Fun Hashtbl List Option Oracle Piecewise Polygen Printf Reduced Rounding Seq Spec Splitting Stats Stdlib String Sys

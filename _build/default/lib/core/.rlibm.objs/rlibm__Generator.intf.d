@@ -1,0 +1,1 @@
+lib/core/generator.mli: Config Fp Piecewise Spec Stats

@@ -1,0 +1,1 @@
+lib/core/polygen.ml: Array Config Float Fp Hashtbl List Lp Polyeval Printf Rational Reduced Seq Stdlib Sys

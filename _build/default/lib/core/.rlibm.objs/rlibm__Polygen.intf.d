@@ -1,0 +1,1 @@
+lib/core/polygen.mli: Config Reduced

@@ -1,0 +1,1 @@
+lib/core/reduced.ml: Array Fp Oracle Rational Rounding Spec

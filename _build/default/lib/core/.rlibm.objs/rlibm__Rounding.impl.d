@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Fp Stdlib

@@ -1,0 +1,1 @@
+lib/core/splitting.ml: Fp Int64 Stdlib

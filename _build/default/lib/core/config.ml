@@ -1,0 +1,25 @@
+(* Generator knobs.  The paper's prototype used a 50k-constraint sample
+   cap and SoPlex with a five-minute limit; our exact-rational simplex
+   is pure OCaml, so the defaults are scaled to keep one function's
+   generation in seconds while exercising every algorithm unchanged. *)
+
+type t = {
+  sample_init : int;  (* initial uniform sample per sub-domain *)
+  sample_narrow : int;  (* extra highly-constrained (narrowest-interval) samples *)
+  sample_cap : int;  (* Algorithm 4's threshold: give up past this *)
+  refine_tries : int;  (* search-and-refine iterations for coefficient rounding *)
+  cex_rounds : int;  (* counterexample loop iterations *)
+  max_split_bits : int;  (* deepest sub-domain split: 2^max_split_bits tables *)
+  start_split_bits : int;  (* skip straight to this split depth (0 = try single poly) *)
+}
+
+let default =
+  {
+    sample_init = 24;
+    sample_narrow = 12;
+    sample_cap = 2000;
+    refine_tries = 40;
+    cex_rounds = 40;
+    max_split_bits = 10;
+    start_split_bits = 0;
+  }

@@ -1,0 +1,46 @@
+(* Input enumerations.
+
+   The paper's generator runs its oracle on every input of the 32-bit
+   type (2^32 MPFR calls on their Xeon).  The pure-OCaml oracle cannot
+   cover 2^32 in this environment, so 32-bit targets use a deterministic
+   stratified enumeration: every (sign, exponent-ish) stratum of the
+   pattern space contributes the same number of deterministically chosen
+   patterns, always including both stratum ends.  16-bit targets
+   enumerate exhaustively, which is how end-to-end soundness is
+   witnessed (see DESIGN.md). *)
+
+(* Deterministic 64-bit mixer (splitmix64 finalizer). *)
+let mix seed i =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** All patterns of a 16-bit representation. *)
+let exhaustive16 = Array.init 65536 (fun i -> i)
+
+(** Stratified patterns for a 32-bit representation: 512 strata from the
+    top 9 pattern bits, [per_stratum] members each (ends included). *)
+let stratified32 ?(seed = 1) ~per_stratum () =
+  let low_bits = 23 in
+  let low_mask = (1 lsl low_bits) - 1 in
+  let out = Array.make (512 * per_stratum) 0 in
+  let k = ref 0 in
+  for s = 0 to 511 do
+    let base = s lsl low_bits in
+    for j = 0 to per_stratum - 1 do
+      let m =
+        if j = 0 then 0
+        else if j = 1 then low_mask
+        else Int64.to_int (Int64.logand (mix (seed + (s * 131)) j) (Int64.of_int low_mask))
+      in
+      out.(!k) <- base lor m;
+      incr k
+    done
+  done;
+  out
+
+(** Dense sweep of patterns in [[lo, hi]] with the given stride. *)
+let range ~lo ~hi ~stride =
+  let n = ((hi - lo) / stride) + 1 in
+  Array.init n (fun i -> lo + (i * stride))

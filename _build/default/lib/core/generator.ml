@@ -1,0 +1,303 @@
+(* The generator driver: Algorithm 1 (CorrectPolys) with Algorithm 3's
+   domain splitting and Algorithm 4's counterexample loop underneath.
+
+   Soundness shape (why validated generation implies correct rounding):
+   Algorithm 2 widens all component intervals jointly, so for a
+   *monotone* output compensation the OC image of the per-component
+   interval box lies inside the input's rounding interval; each
+   generated polynomial is Check-ed (in double, with the run-time
+   operation order) against every merged constraint; hence every
+   enumerated non-special input rounds correctly.  The final validation
+   pass re-runs the actual run-time path and asserts exactly that. *)
+
+module T_intf = Fp.Representation
+
+type generated = {
+  spec : Spec.t;
+  pieces : Piecewise.t array;  (* one per component *)
+  stats : Stats.t;
+}
+
+(* Value equality of two patterns: bit-identical, or the same real value
+   (+0.0 and -0.0 are distinct patterns of the same zero — sinpi of an
+   exact integer legitimately produces either). *)
+let patterns_value_equal (module T : T_intf.S) a b =
+  a = b
+  ||
+  match (T.classify a, T.classify b) with
+  | T_intf.Finite, T_intf.Finite -> T.to_double a = T.to_double b
+  | T_intf.Nan, T_intf.Nan -> true
+  | _ -> false
+
+(* Run-time path: pattern in, pattern out. *)
+let eval_pattern (g : generated) pat =
+  let module T = (val g.spec.repr : T_intf.S) in
+  match g.spec.special pat with
+  | Some out -> out
+  | None ->
+      let x = T.to_double pat in
+      let rr = g.spec.reduce x in
+      let v = Array.map (fun pw -> Piecewise.eval pw rr.r) g.pieces in
+      T.of_double (g.spec.compensate rr v)
+
+(* Run-time path on doubles (for T = float32 this is the library entry
+   point the benchmarks measure). *)
+let eval_double (g : generated) x =
+  let module T = (val g.spec.repr : T_intf.S) in
+  T.to_double (eval_pattern g (T.of_double x))
+
+(* Compile the run-time path into a single closure: table/spec lookups
+   hoisted, per-component piecewise evaluators specialized, one scratch
+   buffer (the paper benchmarks generated C, where the compiler performs
+   the same specialization).  The returned closure is not reentrant. *)
+let compile (g : generated) =
+  let module T = (val g.spec.repr : T_intf.S) in
+  let special = g.spec.special in
+  let reduce = g.spec.reduce in
+  let compensate = g.spec.compensate in
+  let evals = Array.map Piecewise.compile g.pieces in
+  let n = Array.length evals in
+  let v = Array.make (Stdlib.max n 1) 0.0 in
+  if n = 1 then begin
+    let e0 = evals.(0) in
+    fun pat ->
+      match special pat with
+      | Some out -> out
+      | None ->
+          let rr = reduce (T.to_double pat) in
+          v.(0) <- e0 rr.r;
+          T.of_double (compensate rr v)
+  end
+  else begin
+    fun pat ->
+      match special pat with
+      | Some out -> out
+      | None ->
+          let rr = reduce (T.to_double pat) in
+          for i = 0 to n - 1 do
+            v.(i) <- evals.(i) rr.r
+          done;
+          T.of_double (compensate rr v)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type group_cons = { hull : float * float; cons : Reduced.constr array }
+
+(* Generate piecewise polynomials for one sign group of one component:
+   GenApproxHelper's loop — try 2^n sub-domains for growing n. *)
+let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
+  let nt = Array.length terms in
+  let rec attempt n =
+    if n > cfg.max_split_bits then None
+    else begin
+      let scheme = Splitting.make ~hull:gc.hull ~nbits:n in
+      let nsub = Splitting.n_subdomains scheme in
+      let buckets = Array.make nsub [] in
+      Array.iter
+        (fun (c : Reduced.constr) ->
+          let i = Splitting.index scheme c.r in
+          buckets.(i) <- c :: buckets.(i))
+        gc.cons;
+      let coeffs = Array.make (nsub * nt) 0.0 in
+      let filled = Array.make nsub false in
+      let used_terms = ref 0 in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < nsub do
+        (match buckets.(!i) with
+        | [] -> ()
+        | cs -> (
+            let cs = Array.of_list cs in
+            Array.sort (fun (a : Reduced.constr) b -> compare a.r b.r) cs;
+            (* "GetCoeffsUsingLP generates a polynomial of a lower degree
+               if it is possible": once the domains are small, a shorter
+               term list usually suffices and is cheaper — try it first. *)
+            let try_terms =
+              if n >= 5 && nt > 2 then [ Array.sub terms 0 (nt - 1); terms ] else [ terms ]
+            in
+            let rec first = function
+              | [] -> ok := false
+              | ts :: rest -> (
+                  match Polygen.gen ~cfg ~terms:ts cs with
+                  | Polygen.Found c ->
+                      Array.blit c 0 coeffs (!i * nt) (Array.length c);
+                      used_terms := Stdlib.max !used_terms (Array.length ts);
+                      filled.(!i) <- true
+                  | Polygen.No_polynomial -> first rest)
+            in
+            first try_terms));
+        incr i
+      done;
+      if not !ok then attempt (n + 1)
+      else begin
+        (* Fill sub-domains that received no constraints (possible under
+           sampled enumeration) from the NEAREST populated sub-domain —
+           nearest, not leftmost: a one-directional sweep can smear a
+           degenerate low bucket (e.g. the one holding only the clamped
+           r = 0 constraint) across the whole table. *)
+        let populated = Array.to_list (Array.of_seq (Seq.filter (fun j -> filled.(j)) (Seq.init nsub Fun.id))) in
+        (match populated with
+        | [] -> ()
+        | _ ->
+            for j = 0 to nsub - 1 do
+              if not filled.(j) then begin
+                let best =
+                  List.fold_left
+                    (fun acc k ->
+                      match acc with
+                      | None -> Some k
+                      | Some b -> if abs (k - j) < abs (b - j) then Some k else acc)
+                    None populated
+                in
+                match best with
+                | Some k -> Array.blit coeffs (k * nt) coeffs (j * nt) nt
+                | None -> ()
+              end
+            done);
+        if Polygen.debug then
+          Printf.eprintf "[gen_group] n=%d nsub=%d filled=%s\n%!" n nsub
+            (String.init nsub (fun j -> if filled.(j) then '1' else '0'));
+        Some ({ Piecewise.scheme; coeffs }, n, !used_terms)
+      end
+    end
+  in
+  attempt start
+
+(* ------------------------------------------------------------------ *)
+
+let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
+  let module T = (val spec.repr : T_intf.S) in
+  let t0 = Sys.time () in
+  let n_components = Array.length spec.components in
+  (* Per-component constraint accumulation, merged by reduced input. *)
+  let merged = Array.init n_components (fun _ -> Hashtbl.create 4096) in
+  let recorded = ref [] in
+  let n_special = ref 0 in
+  let failure = ref None in
+  let handle pat =
+    match spec.special pat with
+    | Some _ -> incr n_special
+    | None -> (
+        let y =
+          Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
+            (T.to_rational pat)
+        in
+        let interval = Rounding.interval spec.repr y in
+        match Reduced.deduce spec ~pattern:pat ~interval with
+        | Error (Reduced.Oracle_escapes p) ->
+            failure :=
+              Some
+                (Printf.sprintf
+                   "%s: output compensation misses the rounding interval at pattern %#x \
+                    (range reduction or H precision inadequate)"
+                   spec.name p)
+        | Ok (_rr, cons) ->
+            recorded := (pat, y) :: !recorded;
+            Array.iteri
+              (fun i (c : Reduced.constr) ->
+                let key = Fp.Fp64.bits c.r in
+                match Hashtbl.find_opt merged.(i) key with
+                | None -> Hashtbl.replace merged.(i) key c
+                | Some prev ->
+                    let lo = Float.max prev.lo c.lo and hi = Float.min prev.hi c.hi in
+                    if lo > hi then
+                      failure :=
+                        Some
+                          (Printf.sprintf
+                             "%s: no common reduced interval at r=%h (redesign range reduction)"
+                             spec.name c.r)
+                    else Hashtbl.replace merged.(i) key { c with lo; hi })
+              cons)
+  in
+  Array.iter (fun p -> if !failure = None then handle p) patterns;
+  match !failure with
+  | Some msg -> Error msg
+  | None -> (
+      (* Build each component's piecewise polynomials. *)
+      let pieces = Array.make n_components { Piecewise.terms = [||]; neg = None; pos = None } in
+      let comp_stats = Array.make n_components None in
+      let comp_fail = ref None in
+      Array.iteri
+        (fun i (comp : Spec.component) ->
+          if !comp_fail = None then begin
+            let all = Hashtbl.fold (fun _ c acc -> c :: acc) merged.(i) [] in
+            let neg = List.filter (fun (c : Reduced.constr) -> c.r < 0.0) all in
+            let pos = List.filter (fun (c : Reduced.constr) -> c.r >= 0.0) all in
+            let build dom cs =
+              match (dom, cs) with
+              | _, [] -> Ok None
+              | None, _ :: _ ->
+                  Error (Printf.sprintf "%s/%s: constraints outside declared domain" spec.name comp.cname)
+              | Some hull, _ :: _ -> (
+                  let arr = Array.of_list cs in
+                  Array.sort (fun (a : Reduced.constr) b -> compare a.r b.r) arr;
+                  let start = Stdlib.max cfg.start_split_bits spec.split_hint in
+                  match gen_group ~cfg ~start ~terms:comp.terms { hull; cons = arr } with
+                  | Some g -> Ok (Some g)
+                  | None ->
+                      Error
+                        (Printf.sprintf "%s/%s: no piecewise polynomial up to 2^%d sub-domains"
+                           spec.name comp.cname cfg.max_split_bits))
+            in
+            match (build comp.dom_neg neg, build comp.dom_pos pos) with
+            | Error e, _ | _, Error e -> comp_fail := Some e
+            | Ok gneg, Ok gpos ->
+                let piece =
+                  {
+                    Piecewise.terms = comp.terms;
+                    neg = Option.map (fun (g, _, _) -> g) gneg;
+                    pos = Option.map (fun (g, _, _) -> g) gpos;
+                  }
+                in
+                pieces.(i) <- piece;
+                let bits_of = function None -> 0 | Some (_, n, _) -> n in
+                let terms_of = function None -> 0 | Some (_, _, u) -> u in
+                let used = Stdlib.max (terms_of gneg) (terms_of gpos) in
+                let used = if used = 0 then Array.length comp.terms else used in
+                comp_stats.(i) <-
+                  Some
+                    {
+                      Stats.cname = comp.cname;
+                      n_constraints = Hashtbl.length merged.(i);
+                      n_polynomials = Piecewise.n_polynomials piece;
+                      split_bits = Stdlib.max (bits_of gneg) (bits_of gpos);
+                      degree = comp.terms.(used - 1);
+                      n_terms = used;
+                    }
+          end)
+        spec.components;
+      match !comp_fail with
+      | Some e -> Error e
+      | None ->
+          let g =
+            {
+              spec;
+              pieces;
+              stats =
+                {
+                  Stats.name = spec.name;
+                  repr_name = T.name;
+                  gen_seconds = Sys.time () -. t0;
+                  n_inputs = Array.length patterns;
+                  n_special = !n_special;
+                  n_reduced =
+                    Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 merged;
+                  per_component =
+                    Array.map
+                      (function Some s -> s | None -> assert false)
+                      comp_stats;
+                };
+            }
+          in
+          (* Final validation: the actual run-time path must reproduce
+             the oracle pattern for every enumerated input. *)
+          let bad = ref 0 in
+          List.iter
+            (fun (pat, y) ->
+              if not (patterns_value_equal spec.repr (eval_pattern g pat) y) then incr bad)
+            !recorded;
+          if !bad > 0 then
+            Error
+              (Printf.sprintf "%s: %d enumerated inputs misround after generation" spec.name !bad)
+          else Ok g)

@@ -1,0 +1,35 @@
+(** The RLIBM-32 generator driver (Algorithm 1, CorrectPolys).
+
+    [generate] runs the full pipeline for one function spec over an
+    input enumeration: oracle results, rounding intervals (Algorithm 1),
+    reduced intervals (Algorithm 2), sign-group and bit-pattern domain
+    splitting (Algorithm 3), counterexample-guided polynomial generation
+    (Algorithm 4), and a final validation pass that replays the actual
+    run-time path over every enumerated input. *)
+
+type generated = {
+  spec : Spec.t;
+  pieces : Piecewise.t array;  (** one piecewise polynomial per component *)
+  stats : Stats.t;
+}
+
+(** [patterns_value_equal (module T) a b]: bit-identical, or the same
+    real value (distinguishing only the sign of zero), or both NaN. *)
+val patterns_value_equal : (module Fp.Representation.S) -> int -> int -> bool
+
+(** Run-time path: pattern in, pattern out (special cases, range
+    reduction, table-indexed Horner, output compensation, one rounding). *)
+val eval_pattern : generated -> int -> int
+
+(** Run-time path lifted to doubles holding exact T values. *)
+val eval_double : generated -> float -> float
+
+(** Compile the run-time path into one specialized closure (hoisted
+    lookups, monomorphized Horner).  Uses an internal scratch buffer:
+    not reentrant across threads. *)
+val compile : generated -> int -> int
+
+(** [generate ?cfg spec ~patterns] builds the function or explains why
+    it cannot (empty common interval, inadequate range reduction, no
+    polynomial within the split budget, or validation failure). *)
+val generate : ?cfg:Config.t -> Spec.t -> patterns:int array -> (generated, string) result

@@ -1,0 +1,104 @@
+(* Piecewise polynomial tables: the run-time artifact of the generator.
+
+   One [t] approximates one component function f_i over its reduced
+   domain.  Negative and non-negative reduced inputs get separate tables
+   (Algorithm 3 splits them first since their bit patterns share no
+   prefix); each table is indexed by a {!Splitting.scheme} and stores
+   the coefficients row-major. *)
+
+type group = {
+  scheme : Splitting.scheme;
+  coeffs : float array;  (* (2^nbits) * nterms, row-major *)
+}
+
+type t = {
+  terms : int array;
+  neg : group option;
+  pos : group option;
+}
+
+let n_polynomials t =
+  let count = function None -> 0 | Some g -> Splitting.n_subdomains g.scheme in
+  count t.neg + count t.pos
+
+(** Evaluate the piecewise polynomial at a reduced input. *)
+let eval t r =
+  let g = if r < 0.0 then t.neg else t.pos in
+  match g with
+  | None -> 0.0
+  | Some g ->
+      let nt = Array.length t.terms in
+      let idx = Splitting.index g.scheme r in
+      let off = idx * nt in
+      (* Inline Horner over the row to avoid slicing. *)
+      let u = r *. r in
+      let acc = ref g.coeffs.(off + nt - 1) in
+      for k = nt - 1 downto 1 do
+        let m =
+          match t.terms.(k) - t.terms.(k - 1) with
+          | 1 -> r
+          | 2 -> u
+          | d -> r ** float_of_int d
+        in
+        acc := g.coeffs.(off + k - 1) +. (!acc *. m)
+      done;
+      (match t.terms.(0) with
+      | 0 -> !acc
+      | 1 -> !acc *. r
+      | 2 -> !acc *. u
+      | e -> !acc *. (r ** float_of_int e))
+
+(* The generator's Check phase and the runtime must agree bit-for-bit;
+   [eval] and {!Polyeval.eval} use the same operation order. *)
+
+(* Compile one sign group to a specialized closure: the generic [eval]
+   re-examines the term structure on every call; the generated-C library
+   the paper benchmarks has this specialization done by the compiler. *)
+let compile_group terms (g : group) =
+  let nt = Array.length terms in
+  let scheme = g.scheme and coeffs = g.coeffs in
+  match terms with
+  | [| 0; 1; 2; 3 |] ->
+      fun r ->
+        let o = Splitting.index scheme r * nt in
+        coeffs.(o)
+        +. (r *. (coeffs.(o + 1) +. (r *. (coeffs.(o + 2) +. (r *. coeffs.(o + 3))))))
+  | [| 1; 2; 3 |] ->
+      fun r ->
+        let o = Splitting.index scheme r * nt in
+        r *. (coeffs.(o) +. (r *. (coeffs.(o + 1) +. (r *. coeffs.(o + 2)))))
+  | [| 1; 3; 5 |] ->
+      fun r ->
+        let o = Splitting.index scheme r * nt in
+        let u = r *. r in
+        r *. (coeffs.(o) +. (u *. (coeffs.(o + 1) +. (u *. coeffs.(o + 2)))))
+  | [| 0; 2; 4 |] ->
+      fun r ->
+        let o = Splitting.index scheme r * nt in
+        let u = r *. r in
+        coeffs.(o) +. (u *. (coeffs.(o + 1) +. (u *. coeffs.(o + 2))))
+  | _ ->
+      (* Generic sparse Horner over the row, same operation order as
+         [eval]. *)
+      fun r ->
+        let o = Splitting.index scheme r * nt in
+        let u = r *. r in
+        let acc = ref coeffs.(o + nt - 1) in
+        for k = nt - 1 downto 1 do
+          let m =
+            match terms.(k) - terms.(k - 1) with 1 -> r | 2 -> u | d -> r ** float_of_int d
+          in
+          acc := coeffs.(o + k - 1) +. (!acc *. m)
+        done;
+        (match terms.(0) with
+        | 0 -> !acc
+        | 1 -> !acc *. r
+        | 2 -> !acc *. u
+        | e -> !acc *. (r ** float_of_int e))
+
+(* Compiled two-group evaluator. *)
+let compile (t : t) =
+  let zero _ = 0.0 in
+  let neg = match t.neg with Some g -> compile_group t.terms g | None -> zero in
+  let pos = match t.pos with Some g -> compile_group t.terms g | None -> zero in
+  fun r -> if r < 0.0 then neg r else pos r

@@ -1,0 +1,28 @@
+(* Double-precision evaluation of structured polynomials (Horner, §4.1).
+
+   A polynomial is a term-exponent array (ascending) plus matching
+   coefficients; odd and even structures evaluate through u = r*r so an
+   odd polynomial costs the same as a dense one of half the degree —
+   the reason the paper lets the library designer pick the structure. *)
+
+(** [eval ~terms coeffs r] evaluates in double, Horner-style: exactly
+    the operation order the generated library uses at run time, so the
+    generator's Check phase (Algorithm 4) sees bit-identical results. *)
+let eval ~terms coeffs r =
+  let n = Array.length terms in
+  if n = 0 then 0.0
+  else begin
+    let u = r *. r in
+    (* Step between consecutive exponents decides the Horner multiplier. *)
+    let step k = match terms.(k) - terms.(k - 1) with 1 -> r | 2 -> u | d -> r ** float_of_int d in
+    let acc = ref coeffs.(n - 1) in
+    for k = n - 1 downto 1 do
+      acc := coeffs.(k - 1) +. (!acc *. step k)
+    done;
+    (* Leading factor r^e0. *)
+    match terms.(0) with
+    | 0 -> !acc
+    | 1 -> !acc *. r
+    | 2 -> !acc *. u
+    | e -> !acc *. (r ** float_of_int e)
+  end

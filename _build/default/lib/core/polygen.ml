@@ -1,0 +1,160 @@
+(* Counterexample-guided polynomial generation (Algorithm 4) with the
+   search-and-refine coefficient rounding of §3.4.
+
+   Input: the reduced constraints of ONE sub-domain, sorted by reduced
+   input.  Output: double coefficients whose Horner evaluation lands in
+   every reduced interval, or failure (caller splits further). *)
+
+module Q = Rational
+
+(* Set RLIBM_DEBUG=1 to trace the counterexample loop. *)
+let debug = match Sys.getenv_opt "RLIBM_DEBUG" with Some ("1" | "true") -> true | _ -> false
+
+type verdict = Found of float array | No_polynomial
+
+(* One LP-facing constraint: the working copy may be shrunk by
+   search-and-refine; [orig] keeps the true interval for Check. *)
+type slot = { orig : Reduced.constr; mutable lo : float; mutable hi : float }
+
+let slot_of (c : Reduced.constr) = { orig = c; lo = c.lo; hi = c.hi }
+
+let check_one ~terms coeffs (c : Reduced.constr) =
+  let v = Polyeval.eval ~terms coeffs c.r in
+  v >= c.lo && v <= c.hi
+
+(* Uniform sample by index (the paper samples proportionally to the
+   input distribution: constraints are one per distinct reduced input,
+   so index-uniform = distribution-proportional), plus the most highly
+   constrained intervals (§3.4). *)
+let initial_sample (cfg : Config.t) (cons : Reduced.constr array) =
+  let n = Array.length cons in
+  let picked = Hashtbl.create 64 in
+  let k = Stdlib.min n cfg.sample_init in
+  for i = 0 to k - 1 do
+    Hashtbl.replace picked (i * (n - 1) / Stdlib.max 1 (k - 1)) ()
+  done;
+  if cfg.sample_narrow > 0 && n > k then begin
+    let by_width = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j -> compare (cons.(i).hi -. cons.(i).lo) (cons.(j).hi -. cons.(j).lo))
+      by_width;
+    for i = 0 to Stdlib.min (cfg.sample_narrow - 1) (n - 1) do
+      Hashtbl.replace picked by_width.(i) ()
+    done
+  end;
+  picked
+
+let gen_with ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) =
+  let n = Array.length cons in
+  if n = 0 then Found (Array.make (Array.length terms) 0.0)
+  else begin
+    let picked = initial_sample cfg cons in
+    let sample () =
+      Hashtbl.fold (fun i () acc -> i :: acc) picked []
+      |> List.sort compare
+      |> List.map (fun i -> slot_of cons.(i))
+      |> Array.of_list
+    in
+    let result = ref None in
+    let rounds = ref 0 in
+    let slots = ref (sample ()) in
+    while !result = None do
+      incr rounds;
+      if !rounds > cfg.cex_rounds || Hashtbl.length picked > cfg.sample_cap then
+        result := Some No_polynomial
+      else begin
+        (* Inner loop: LP fit + search-and-refine the rounded coefficients. *)
+        let refine = ref 0 in
+        let coeffs = ref None in
+        let give_up = ref false in
+        while !coeffs = None && not !give_up do
+          incr refine;
+          if !refine > refine_cap then give_up := true
+          else begin
+            let lp_cons =
+              Array.map (fun s -> { Lp.Polyfit.r = s.orig.r; lo = s.lo; hi = s.hi }) !slots
+            in
+            let t_fit = if debug then Sys.time () else 0.0 in
+            let fit_result = Lp.Polyfit.fit ~terms lp_cons in
+            if debug then
+              Printf.eprintf "[polygen] round %d refine %d sample %d fit %.2fs -> %s\n%!"
+                !rounds !refine (Array.length lp_cons) (Sys.time () -. t_fit)
+                (match fit_result with Some _ -> "sat" | None -> "unsat");
+            match fit_result with
+            | None -> give_up := true
+            | Some qc -> (
+                let dc = Array.map Q.to_float qc in
+                (* Does the double-rounded polynomial satisfy the sample? *)
+                let bad =
+                  Array.to_seq !slots
+                  |> Seq.filter (fun s ->
+                         let v = Polyeval.eval ~terms dc s.orig.r in
+                         not (v >= s.lo && v <= s.hi))
+                  |> List.of_seq
+                in
+                match bad with
+                | [] -> coeffs := Some dc
+                | _ ->
+                    (* Shrink the violated sample intervals one H-step
+                       (search-and-refine) and ask the LP again. *)
+                    List.iter
+                      (fun s ->
+                        let v = Polyeval.eval ~terms dc s.orig.r in
+                        if v < s.lo then s.lo <- Fp.Fp64.next_up s.lo
+                        else s.hi <- Fp.Fp64.next_down s.hi;
+                        if s.lo > s.hi then give_up := true)
+                      bad)
+          end
+        done;
+        match !coeffs with
+        | None -> result := Some No_polynomial
+        | Some dc -> (
+            (* Check against the full sub-domain constraint set. *)
+            let cex = ref [] in
+            Array.iteri (fun i c -> if not (check_one ~terms dc c) then cex := i :: !cex) cons;
+            match !cex with
+            | [] -> result := Some (Found dc)
+            | violations ->
+                List.iter (fun i -> Hashtbl.replace picked i ()) violations;
+                slots := sample ())
+      end
+    done;
+    match !result with Some r -> r | None -> No_polynomial
+  end
+
+(* Tightening ladder: intersect each true interval with a tube around
+   the correctly rounded component value [mid], first aggressively, then
+   progressively looser, finally exactly.  The paper never needs this
+   (it enumerates every input, so every interval is a constraint); under
+   sampled enumeration a polynomial that merely satisfies the sampled
+   boxes can wander several box-widths off the function between samples
+   and misround unseen inputs whose intervals are tighter than their
+   neighbors'.  Every rung is sound — the tube contains [mid], so each
+   intersection is a nonempty subset of the true interval — and a rung
+   that is infeasible for the LP (the tube can be tighter than the best
+   polynomial of the structure tracks the function) falls through to the
+   next. *)
+let tube_ulps = 64
+
+let shrink_by factor (c : Reduced.constr) =
+  let w = (c.hi -. c.lo) /. factor in
+  let floor_w = Fp.Fp64.advance c.mid tube_ulps -. c.mid in
+  let w = Float.max w floor_w in
+  let lo = Float.max c.lo (c.mid -. w) in
+  let hi = Float.min c.hi (c.mid +. w) in
+  if lo <= hi && Float.is_finite w then { c with lo; hi } else c
+
+let shrink = shrink_by 65536.0
+
+let gen ~(cfg : Config.t) ~terms (cons : Reduced.constr array) =
+  (* Tube rungs get a short refine budget: when a shrunken feasible
+     region is a sliver, search-and-refine would thin it further instead
+     of helping, so fall through to the next rung early. *)
+  let rec ladder = function
+    | [] -> gen_with ~cfg ~refine_cap:cfg.refine_tries ~terms cons
+    | f :: rest -> (
+        match gen_with ~cfg ~refine_cap:8 ~terms (Array.map (shrink_by f) cons) with
+        | Found c -> Found c
+        | No_polynomial -> ladder rest)
+  in
+  ladder [ 65536.0; 1024.0; 16.0 ]

@@ -1,0 +1,36 @@
+(** Counterexample-guided polynomial generation (Algorithm 4).
+
+    [gen] finds double coefficients whose Horner evaluation (in the
+    run-time operation order, {!Polyeval}) lands inside every reduced
+    interval of one sub-domain, by LP over a growing sample:
+
+    + fit the sampled constraints with the exact LP ({!Lp.Polyfit});
+    + round the coefficients to double and search-and-refine — shrink
+      any violated sample interval one double-ulp and refit (§3.4);
+    + Check the full constraint set; add violations to the sample
+      (the counterexamples) and repeat.
+
+    Passes run down a tightening ladder: intervals intersected with
+    tubes of decreasing aggressiveness around the correctly rounded
+    component values (a sampled-generation generalization aid, see
+    [shrink_by]), ending with the exact intervals. *)
+
+(** True when RLIBM_DEBUG=1: trace the counterexample loop. *)
+val debug : bool
+
+type verdict = Found of float array | No_polynomial
+
+(** Minimum tube half-width (double ulps from [mid]). *)
+val tube_ulps : int
+
+(** [shrink_by f c] intersects [c] with the tube
+    [[mid - w, mid + w]], [w = max(width/f, tube_ulps)]; exposed for
+    tests.  [shrink] is the most aggressive rung. *)
+val shrink_by : float -> Reduced.constr -> Reduced.constr
+
+val shrink : Reduced.constr -> Reduced.constr
+
+(** [gen ~cfg ~terms cons] generates coefficients for the term structure
+    [terms] satisfying every constraint, or reports that no polynomial
+    of this structure exists within the configured budgets. *)
+val gen : cfg:Config.t -> terms:int array -> Reduced.constr array -> verdict

@@ -1,0 +1,81 @@
+(* Reduced rounding intervals (Algorithm 2).
+
+   For input x with rounding interval [l, h] and reduction r = RR_H(x),
+   deduce per-component intervals [l_i', h_i'] such that output
+   compensation applied to any choice of component values inside them
+   lands in [l, h].  The paper widens all components' bounds
+   simultaneously, one GetPrev/GetNext step at a time; since OC is
+   monotone in the joint perturbation, we implement the efficiency note
+   and binary-search on the step count. *)
+
+type constr = {
+  r : float;
+  lo : float;
+  hi : float;
+  mid : float;
+      (* the correctly-rounded-to-double component value (Algorithm 2's
+         starting point, possibly nudged): always inside [lo, hi].  The
+         generator's first fitting pass pins polynomials to a small tube
+         around it — see Polygen.shrink. *)
+}
+
+(* A widening of more than this many double-ulps per side is clamped:
+   it only makes an already-easy LP constraint slightly less easy. *)
+let max_widen = 1 lsl 50
+
+type failure =
+  | Oracle_escapes of int
+      (* OC of the correctly rounded component values missed the
+         rounding interval for this input pattern: the range reduction
+         or H's precision is inadequate (Algorithm 2, line 8). *)
+
+(** [deduce spec ~pattern ~interval] computes the reduction of the input
+    and one reduced constraint per component. *)
+let deduce (spec : Spec.t) ~pattern ~(interval : Rounding.t) =
+  let module T = (val spec.repr) in
+  let x = T.to_double pattern in
+  let rr = spec.reduce x in
+  let qr = Rational.of_float rr.r in
+  let v =
+    Array.map
+      (fun (c : Spec.component) ->
+        Oracle.Elementary.correctly_rounded ~round:Rational.to_float c.coracle qr)
+      spec.components
+  in
+  (* The correctly rounded component values can land a double-ulp on the
+     wrong side of the input's rounding interval when a target boundary
+     coincides with a double (the paper's remedy is "increase the
+     precision of H", Algorithm 2 line 8; nudging the starting point
+     within H is the equivalent that keeps H = double).  Try small joint
+     nudges before giving up. *)
+  let v =
+    if Rounding.contains interval (spec.compensate rr v) then Some v
+    else begin
+      let try_nudge s =
+        let v' = Array.map (fun vi -> Fp.Fp64.advance vi s) v in
+        if Rounding.contains interval (spec.compensate rr v') then Some v' else None
+      in
+      let rec search = function
+        | [] -> None
+        | s :: rest -> ( match try_nudge s with Some v' -> Some v' | None -> search rest)
+      in
+      search [ 1; -1; 2; -2; 3; -3; 4; -4; 6; -6; 8; -8 ]
+    end
+  in
+  match v with
+  | None -> Error (Oracle_escapes pattern)
+  | Some v ->
+    begin
+    let n = Array.length v in
+    let ok k =
+      (* Widen every component k steps in direction [dir]. *)
+      Rounding.contains interval (spec.compensate rr (Array.map (fun vi -> Fp.Fp64.advance vi k) v))
+    in
+    let kd = Rounding.search_max (fun k -> ok (-k)) max_widen in
+    let ku = Rounding.search_max ok max_widen in
+    let cons =
+      Array.init n (fun i ->
+          { r = rr.r; lo = Fp.Fp64.advance v.(i) (-kd); hi = Fp.Fp64.advance v.(i) ku; mid = v.(i) })
+    in
+    Ok (rr, cons)
+  end

@@ -1,0 +1,61 @@
+(* Rounding intervals (Algorithm 1, lines 14-17).
+
+   For a target value y of representation T, the rounding interval is
+   the set of doubles v with RN_T(v) = y.  Because RN_T is monotone on
+   the double line, the interval's endpoints can be found by an
+   exponential bracket followed by binary search on the monotone integer
+   key of the double space — representation-agnostic, so the same code
+   serves floats and posits. *)
+
+type t = { lo : float; hi : float }
+
+let contains i v = v >= i.lo && v <= i.hi
+let width_ulps i = Fp.Fp64.steps i.lo i.hi
+
+(* Largest k in [0, bound] with (pred k) true, where pred is monotone
+   (true then false as k grows); requires pred 0. *)
+let search_max pred bound =
+  if pred bound then bound
+  else begin
+    (* Exponential bracket. *)
+    let lo = ref 0 and hi = ref 1 in
+    while !hi < bound && pred !hi do
+      lo := !hi;
+      hi := !hi * 2
+    done;
+    let hi = ref (Stdlib.min !hi bound) in
+    (* Invariant: pred !lo, not (pred !hi). *)
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if pred mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+(* How far (in double ulps) the search may ever need to reach: the gap
+   between consecutive representable values of any of our targets is at
+   most ~2^96 doubles away from the value itself (posit32 regimes). *)
+let max_reach = 1 lsl 62 - 1
+
+(** [interval (module T) y] is the rounding interval of the finite
+    pattern [y]: every double in it rounds to a pattern representing the
+    same value as [y] under [T.of_double], and no double outside does.
+    Equality is up to the sign of zero — the +0 and -0 patterns denote
+    one value, and treating them as distinct would pin the reduced
+    constraints of odd functions at exact zeros to empty boxes. *)
+let interval (module T : Fp.Representation.S) y =
+  let v0 = T.to_double y in
+  let same p =
+    p = y
+    ||
+    match (T.classify p, T.classify y) with
+    | Fp.Representation.Finite, Fp.Representation.Finite -> T.to_double p = T.to_double y
+    | _ -> false
+  in
+  (* v0 is exact, so it certainly rounds back to y. *)
+  assert (same (T.of_double v0));
+  let down k = same (T.of_double (Fp.Fp64.advance v0 (-k))) in
+  let up k = same (T.of_double (Fp.Fp64.advance v0 k)) in
+  let kd = search_max down max_reach in
+  let ku = search_max up max_reach in
+  { lo = Fp.Fp64.advance v0 (-kd); hi = Fp.Fp64.advance v0 ku }

@@ -1,0 +1,23 @@
+(** Rounding intervals (Algorithm 1, lines 14–17).
+
+    The rounding interval of a target value [y] is the set of doubles
+    that round to (a pattern with the value of) [y] under the target's
+    round-to-nearest.  Membership is up to the sign of zero: the +0 and
+    -0 patterns denote one value. *)
+
+type t = { lo : float; hi : float }
+
+(** [contains i v]: closed-interval membership. *)
+val contains : t -> float -> bool
+
+(** Width counted in representable doubles. *)
+val width_ulps : t -> int64
+
+(** [search_max pred bound] is the largest [k <= bound] with [pred k],
+    for a monotone predicate with [pred 0] (exponential bracket + binary
+    search). *)
+val search_max : (int -> bool) -> int -> int
+
+(** [interval (module T) y] computes the rounding interval of the
+    finite pattern [y] by monotone search over the double line. *)
+val interval : (module Fp.Representation.S) -> int -> t

@@ -1,0 +1,50 @@
+(* Bit-pattern domain splitting (§3.3, Algorithm 3's SplitDomain).
+
+   All reduced inputs of one sign group share the leading bits of their
+   double representation; the [nbits] bits that follow index the
+   sub-domain.  At run time the index costs one shift and one mask —
+   exactly the two bit operations the paper advertises. *)
+
+type scheme = {
+  nbits : int;  (* sub-domain index width; 2^nbits tables *)
+  shift : int;  (* right-shift applied to the raw double bits *)
+  lo_bits : int64;  (* raw bits of the hull's low end, for clamping *)
+  hi_bits : int64;
+}
+
+let n_subdomains s = 1 lsl s.nbits
+
+(* Number of identical leading bits of two 64-bit patterns (i.e. the
+   count of leading zeros of their xor). *)
+let common_prefix a b =
+  let x = Int64.logxor a b in
+  let rec clz i =
+    if i = 64 then 64
+    else if Int64.equal (Int64.logand (Int64.shift_right_logical x (63 - i)) 1L) 1L then i
+    else clz (i + 1)
+  in
+  clz 0
+
+(* Unsigned 64-bit comparison. *)
+let ucmp a b = Int64.unsigned_compare a b
+
+(** [make ~hull ~nbits] builds the indexing scheme for one sign group.
+    Both hull endpoints must be nonzero and of the same sign. *)
+let make ~hull:(lo, hi) ~nbits =
+  let a = Fp.Fp64.bits lo and b = Fp.Fp64.bits hi in
+  (* For a negative hull the raw bits order reverses (sign-magnitude);
+     keep [lo_bits] the unsigned-smaller pattern. *)
+  let a, b = if ucmp a b <= 0 then (a, b) else (b, a) in
+  let p = common_prefix a b in
+  (* Cannot index below the last bit of the word. *)
+  let nbits = Stdlib.min nbits (64 - p) in
+  { nbits; shift = 64 - p - nbits; lo_bits = a; hi_bits = b }
+
+(** [index s r] is the sub-domain of [r]; values outside the hull clamp
+    to the nearest end (reduced inputs equal to zero land with the
+    smallest magnitudes). *)
+let index s r =
+  let bits = Fp.Fp64.bits r in
+  let bits = if ucmp bits s.lo_bits < 0 then s.lo_bits else bits in
+  let bits = if ucmp bits s.hi_bits > 0 then s.hi_bits else bits in
+  Int64.to_int (Int64.shift_right_logical bits s.shift) land ((1 lsl s.nbits) - 1)

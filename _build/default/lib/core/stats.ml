@@ -1,0 +1,31 @@
+(* Generation statistics, one record per generated function: the data
+   behind Table 3 (generation time, reduced-input counts, piecewise
+   sizes, polynomial degree and term counts). *)
+
+type t = {
+  name : string;
+  repr_name : string;
+  gen_seconds : float;
+  n_inputs : int;  (* enumerated inputs *)
+  n_special : int;  (* handled by special cases *)
+  n_reduced : int;  (* distinct reduced constraints, summed over components *)
+  per_component : component array;
+}
+
+and component = {
+  cname : string;
+  n_constraints : int;
+  n_polynomials : int;  (* total sub-domain count over both sign groups *)
+  split_bits : int;  (* the n of 2^n sub-domains (max over groups) *)
+  degree : int;
+  n_terms : int;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%s): %.1fs, %d inputs (%d special), %d reduced@." t.name t.repr_name
+    t.gen_seconds t.n_inputs t.n_special t.n_reduced;
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "  %-10s %7d constraints, %4d polys (2^%d), degree %d, %d terms@."
+        c.cname c.n_constraints c.n_polynomials c.split_bits c.degree c.n_terms)
+    t.per_component

@@ -1,0 +1,1 @@
+lib/fp/bfloat16.ml: Ieee

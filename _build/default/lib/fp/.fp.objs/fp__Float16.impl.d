@@ -1,0 +1,1 @@
+lib/fp/float16.ml: Ieee

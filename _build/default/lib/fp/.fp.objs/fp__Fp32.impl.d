@@ -1,0 +1,1 @@
+lib/fp/fp32.ml: Ieee Int32

@@ -1,0 +1,1 @@
+lib/fp/fp64.ml: Int64

@@ -1,0 +1,1 @@
+lib/fp/ieee.ml: Bigint Float Rational Representation

@@ -1,0 +1,13 @@
+(* bfloat16: the float32 exponent range with a 7-bit significand.  Small
+   enough to exercise the whole pipeline exhaustively, as the original
+   16-bit RLIBM did. *)
+
+let fmt = Ieee.bfloat16
+let name = "bfloat16"
+let bits = 16
+let classify p = Ieee.classify fmt p
+let to_double p = Ieee.to_double fmt p
+let to_rational p = Ieee.to_rational fmt p
+let round_rational q = Ieee.round_rational fmt q
+let of_double x = Ieee.of_double fmt x
+let order_key p = Ieee.order_key fmt p

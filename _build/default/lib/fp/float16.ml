@@ -1,0 +1,11 @@
+(* IEEE-754 binary16 (half precision). *)
+
+let fmt = Ieee.float16
+let name = "float16"
+let bits = 16
+let classify p = Ieee.classify fmt p
+let to_double p = Ieee.to_double fmt p
+let to_rational p = Ieee.to_rational fmt p
+let round_rational q = Ieee.round_rational fmt q
+let of_double x = Ieee.of_double fmt x
+let order_key p = Ieee.order_key fmt p

@@ -1,0 +1,16 @@
+(* IEEE-754 binary32, the paper's headline target type.  Conversions to
+   and from double use the hardware float path (OCaml's [Int32]
+   bit-casts go through a C float cast, i.e. hardware round-to-nearest-
+   even), which the tests cross-check against the exact rational
+   rounding of {!Ieee}. *)
+
+let fmt = Ieee.float32
+let name = "float32"
+let bits = 32
+let classify p = Ieee.classify fmt p
+let to_rational p = Ieee.to_rational fmt p
+let round_rational q = Ieee.round_rational fmt q
+let order_key p = Ieee.order_key fmt p
+let mask32 = (1 lsl 32) - 1
+let to_double p = Int32.float_of_bits (Int32.of_int p)
+let of_double x = Int32.to_int (Int32.bits_of_float x) land mask32

@@ -1,0 +1,49 @@
+(* Bit-level utilities on H = double: successor/predecessor and a
+   monotone integer key.  These implement GetPrev/GetNext of Algorithm 2
+   and drive the binary searches for rounding intervals. *)
+
+let bits = Int64.bits_of_float
+let of_bits = Int64.float_of_bits
+
+(* Monotone key: doubles compare like their keys.  -0.0 and +0.0 both
+   map to 0. *)
+let key x =
+  let b = bits x in
+  if Int64.compare b 0L >= 0 then b else Int64.sub Int64.min_int b
+
+let of_key k =
+  if Int64.compare k 0L >= 0 then of_bits k else of_bits (Int64.sub Int64.min_int k)
+
+(* Next double toward +infinity.  Finite input, finite-or-inf output. *)
+let next_up x =
+  if x = 0.0 then of_bits 1L
+  else begin
+    let b = bits x in
+    if Int64.compare b 0L >= 0 then of_bits (Int64.add b 1L)
+    else if Int64.equal b Int64.min_int (* -0.0 *) then of_bits 1L
+    else of_bits (Int64.sub b 1L)
+  end
+
+(* Next double toward -infinity. *)
+let next_down x = -.next_up (-.x)
+
+(* Keys of the infinities bound the meaningful part of the key line. *)
+let inf_key = bits infinity
+let neg_inf_key = Int64.neg inf_key
+
+(* [advance x k] moves [k] representable doubles up (k may be negative),
+   saturating at the infinities so callers can probe far without leaving
+   the float line. *)
+let advance x k =
+  let base = key x in
+  let t = Int64.add base (Int64.of_int k) in
+  (* Saturating add: detect Int64 wraparound by the sign of the step. *)
+  let t = if k >= 0 && Int64.compare t base < 0 then inf_key else t in
+  let t = if k < 0 && Int64.compare t base > 0 then neg_inf_key else t in
+  let t = if Int64.compare t inf_key > 0 then inf_key else t in
+  let t = if Int64.compare t neg_inf_key < 0 then neg_inf_key else t in
+  of_key t
+
+(* Number of doubles strictly between is |steps| - ... ; here: signed
+   count of representable steps from [a] to [b]. *)
+let steps a b = Int64.sub (key b) (key a)

@@ -1,0 +1,108 @@
+(* Generic small IEEE-754 binary formats (width <= 32), parameterized by
+   exponent and trailing-significand widths.  Instantiated as float32,
+   bfloat16 and float16 in their own modules. *)
+
+module B = Bigint
+module Q = Rational
+
+type format = { name : string; eb : int; mb : int }
+
+let float32 = { name = "float32"; eb = 8; mb = 23 }
+let bfloat16 = { name = "bfloat16"; eb = 8; mb = 7 }
+let float16 = { name = "float16"; eb = 5; mb = 10 }
+
+let width f = 1 + f.eb + f.mb
+let bias f = (1 lsl (f.eb - 1)) - 1
+let exp_mask f = (1 lsl f.eb) - 1
+let mant_mask f = (1 lsl f.mb) - 1
+let sign_bit f = 1 lsl (width f - 1)
+
+(* Smallest normal exponent (unbiased). *)
+let emin f = 1 - bias f
+
+(* Largest finite exponent (unbiased). *)
+let emax f = bias f
+
+let classify f p =
+  let e = (p lsr f.mb) land exp_mask f in
+  let m = p land mant_mask f in
+  if e = exp_mask f then (if m = 0 then Representation.Inf (if p land sign_bit f = 0 then 1 else -1) else Representation.Nan)
+  else Representation.Finite
+
+let to_double f p =
+  let s = if p land sign_bit f = 0 then 1.0 else -1.0 in
+  let e = (p lsr f.mb) land exp_mask f in
+  let m = p land mant_mask f in
+  if e = exp_mask f then (if m = 0 then s *. infinity else Float.nan)
+  else if e = 0 then s *. Float.ldexp (float_of_int m) (emin f - f.mb)
+  else s *. Float.ldexp (float_of_int (m lor (1 lsl f.mb))) (e - bias f - f.mb)
+
+let to_rational f p =
+  match classify f p with
+  | Representation.Finite -> Q.of_float (to_double f p)
+  | Representation.Inf _ | Representation.Nan -> invalid_arg (f.name ^ ".to_rational: not finite")
+
+let nan_pattern f = (exp_mask f lsl f.mb) lor (1 lsl (f.mb - 1))
+let inf_pattern f sign = (if sign < 0 then sign_bit f else 0) lor (exp_mask f lsl f.mb)
+
+(* Round an exact rational to the nearest pattern, ties to even, with
+   IEEE overflow to infinity and gradual underflow.  This is the direct
+   real -> T rounding (no intermediate double), which matters: rounding
+   through double first is exactly the double-rounding bug the paper
+   pins on CR-LIBM (§4.2). *)
+let round_rational f q =
+  if Q.is_zero q then 0
+  else begin
+    let sign = if Q.sign q < 0 then sign_bit f else 0 in
+    let a = Q.abs q in
+    let e = Q.ilog2 a in
+    if e > emax f + 1 then sign lor (exp_mask f lsl f.mb)
+    else begin
+      (* Effective precision: full for normals, reduced in the subnormal
+         range; [e] below all subnormals yields precision <= 0 and a
+         zero/minsub decision by the same rounding formula. *)
+      let prec = if e >= emin f then f.mb + 1 else f.mb + 1 + (e - emin f) in
+      if prec <= 0 then begin
+        (* |q| < 2^(emin - mb - 1) * 2 : compare against half of minsub. *)
+        let half_minsub = Q.of_pow2 (emin f - f.mb - 1) in
+        let c = Q.compare a half_minsub in
+        if c > 0 then sign lor 1 else sign (* tie rounds to even = 0 *)
+      end
+      else begin
+        let k = prec - 1 - e in
+        let n = Q.num a and d = Q.den a in
+        let num = if k >= 0 then B.shift_left n k else n in
+        let den = if k >= 0 then d else B.shift_left d (-k) in
+        let quot, rem = B.divmod num den in
+        let m = B.to_int_exn quot in
+        let twice = B.shift_left rem 1 in
+        let c = B.compare twice den in
+        let m = if c > 0 || (c = 0 && m land 1 = 1) then m + 1 else m in
+        (* Value is now m * 2^scale with m < 2^(prec+1); a carry out of
+           the binade just bumps the scale.  In the subnormal branch
+           [scale = emin - mb] by construction, so a significand that
+           grows to 2^mb lands exactly on the smallest normal. *)
+        let scale = e - prec + 1 in
+        let m, scale = if m = 1 lsl prec then (m lsr 1, scale + 1) else (m, scale) in
+        if m lsr f.mb > 0 then begin
+          let unbiased = f.mb + scale in
+          if unbiased > emax f then sign lor (exp_mask f lsl f.mb)
+          else sign lor ((unbiased + bias f) lsl f.mb) lor (m land mant_mask f)
+        end
+        else
+          (* Subnormal: the field encodes value * 2^(mb - emin); before a
+             carry [scale = emin - mb] exactly, after one it is one
+             higher. *)
+          sign lor (m lsl (scale - (emin f - f.mb)))
+      end
+    end
+  end
+
+let of_double f x =
+  if Float.is_nan x then nan_pattern f
+  else if x = infinity then inf_pattern f 1
+  else if x = neg_infinity then inf_pattern f (-1)
+  else if x = 0.0 then if 1.0 /. x < 0.0 then sign_bit f else 0
+  else round_rational f (Q.of_float x)
+
+let order_key f p = if p land sign_bit f = 0 then p else sign_bit f - p

@@ -1,0 +1,43 @@
+(* The interface every 32-/16-bit target representation T implements.
+
+   Patterns are plain non-negative [int]s of [bits] width so the
+   generator pipeline can enumerate, hash and table them uniformly for
+   IEEE formats and posits alike. *)
+
+type class_ = Finite | Inf of int  (* sign: 1 or -1 *) | Nan
+
+module type S = sig
+  val name : string
+
+  (** Storage width in bits; patterns live in [0, 2^bits). *)
+  val bits : int
+
+  val classify : int -> class_
+
+  (** Exact value of a [Finite] pattern (all our targets embed exactly in
+      double). Unspecified for [Inf]/[Nan] patterns. *)
+  val to_double : int -> float
+
+  (** Exact value of a [Finite] pattern as a rational. *)
+  val to_rational : int -> Rational.t
+
+  (** Round an exact real to the nearest representable pattern, using the
+      format's own rules (IEEE round-to-nearest-even with overflow to
+      infinity; posit saturation, never rounding a nonzero value to
+      zero). *)
+  val round_rational : Rational.t -> int
+
+  (** Round a double to the nearest pattern; must agree with
+      [round_rational (Rational.of_float x)] on finite [x] and be fast
+      enough for the benchmark loops. *)
+  val of_double : float -> int
+
+  (** Map a non-[Nan] pattern to an integer line monotone in the value it
+      represents (IEEE formats are sign-magnitude, posits are two's
+      complement, so each format supplies its own). *)
+  val order_key : int -> int
+end
+
+(** [ulp_distance (module T) a b] counts the representable values
+    separating two non-[Nan] patterns on T's monotone ordering. *)
+let ulp_distance (module T : S) a b = abs (T.order_key a - T.order_key b)

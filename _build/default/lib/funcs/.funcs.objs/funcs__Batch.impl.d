@@ -1,0 +1,1 @@
+lib/funcs/batch.ml: Array Rlibm

@@ -1,0 +1,1 @@
+lib/funcs/libm.ml: Hashtbl Rlibm Specs

@@ -1,0 +1,1 @@
+lib/funcs/libm.mli: Rlibm Specs

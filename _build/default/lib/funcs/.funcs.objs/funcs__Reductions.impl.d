@@ -1,0 +1,1 @@
+lib/funcs/reductions.ml: Array Float Fp Int64 Lazy Rlibm Stdlib Tables

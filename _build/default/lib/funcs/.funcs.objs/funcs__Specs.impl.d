@@ -1,0 +1,1 @@
+lib/funcs/specs.ml: Float Fp Lazy Oracle Posit Reductions Rlibm Stdlib String Tables

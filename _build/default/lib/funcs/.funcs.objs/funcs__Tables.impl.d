@@ -1,0 +1,1 @@
+lib/funcs/tables.ml: Array Float Fp Int64 Oracle Rational

@@ -1,0 +1,62 @@
+(* Batch evaluation.
+
+   The paper's §4.3 measures a vectorized harness (1024-input arrays)
+   where Intel's compiler auto-vectorizes the comparators; RLIBM-32 is
+   "almost as fast as vectorized code while producing correct results".
+   OCaml has no auto-vectorizer, but the batch shape still pays: the
+   spec's closures, tables and piecewise structures are hoisted out of
+   the loop, bounds checks amortize, and the double<->pattern conversions
+   pipeline.  The VEC bench section measures scalar-call vs batch. *)
+
+module G = Rlibm.Generator
+
+(** [eval_patterns g src dst] applies the generated function to every
+    pattern of [src] into [dst].
+    @raise Invalid_argument on length mismatch. *)
+let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
+  if Array.length src <> Array.length dst then invalid_arg "Batch.eval_patterns: length mismatch";
+  let module T = (val g.spec.repr) in
+  let special = g.spec.special in
+  let reduce = g.spec.reduce in
+  let compensate = g.spec.compensate in
+  let evals = Array.map Rlibm.Piecewise.compile g.pieces in
+  let ncomp = Array.length evals in
+  (* Scratch for component values, reused across the batch. *)
+  let v = Array.make ncomp 0.0 in
+  for i = 0 to Array.length src - 1 do
+    let pat = src.(i) in
+    dst.(i) <-
+      (match special pat with
+      | Some out -> out
+      | None ->
+          let rr = reduce (T.to_double pat) in
+          for c = 0 to ncomp - 1 do
+            v.(c) <- evals.(c) rr.r
+          done;
+          T.of_double (compensate rr v))
+  done
+
+(** [eval_doubles g src dst] is the double-valued batch entry point (the
+    arrays hold exact target values, as in the paper's harness). *)
+let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
+  if Array.length src <> Array.length dst then invalid_arg "Batch.eval_doubles: length mismatch";
+  let module T = (val g.spec.repr) in
+  let special = g.spec.special in
+  let reduce = g.spec.reduce in
+  let compensate = g.spec.compensate in
+  let evals = Array.map Rlibm.Piecewise.compile g.pieces in
+  let ncomp = Array.length evals in
+  let v = Array.make ncomp 0.0 in
+  for i = 0 to Array.length src - 1 do
+    let x = src.(i) in
+    let pat = T.of_double x in
+    dst.(i) <-
+      (match special pat with
+      | Some out -> T.to_double out
+      | None ->
+          let rr = reduce x in
+          for c = 0 to ncomp - 1 do
+            v.(c) <- evals.(c) rr.r
+          done;
+          T.to_double (T.of_double (compensate rr v)))
+  done

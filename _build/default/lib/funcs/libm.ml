@@ -1,0 +1,70 @@
+(* The generated math library.
+
+   Functions are generated on first use (the paper ships pre-generated
+   coefficient tables; we regenerate deterministically — same algorithms,
+   same inputs, same tables every run) and cached per (function, target,
+   enumeration).  The float32 entry points take and return doubles that
+   are exact float32 values, mirroring how a C float function would be
+   called from double-based test harnesses (§4.1). *)
+
+module G = Rlibm.Generator
+
+type quality = Draft | Quick | Full
+
+(* Enumeration used to drive generation. *)
+let enumeration (t : Specs.target) quality =
+  let module T = (val t.repr) in
+  match (T.bits, quality) with
+  | 16, _ -> Rlibm.Enumerate.exhaustive16
+  | _, Draft -> Rlibm.Enumerate.stratified32 ~per_stratum:2 ()
+  | _, Quick -> Rlibm.Enumerate.stratified32 ~per_stratum:8 ()
+  | _, Full -> Rlibm.Enumerate.stratified32 ~per_stratum:24 ()
+
+let cache : (string * string * quality, G.generated) Hashtbl.t = Hashtbl.create 32
+
+(** Generate (or fetch) one function for one target.
+    @raise Failure if generation fails — a spec bug, not a user error. *)
+let get ?(quality = Full) ?cfg (t : Specs.target) name =
+  match Hashtbl.find_opt cache (name, t.tname, quality) with
+  | Some g -> g
+  | None -> (
+      let spec = Specs.by_name name t in
+      match G.generate ?cfg spec ~patterns:(enumeration t quality) with
+      | Ok g ->
+          Hashtbl.replace cache (name, t.tname, quality) g;
+          g
+      | Error msg -> failwith ("Libm.get: generation failed: " ^ msg))
+
+(** Pattern-level entry point: apply the generated function. *)
+let eval_pattern ?quality ?cfg t name pat = G.eval_pattern (get ?quality ?cfg t name) pat
+
+(* ------------------------------------------------------------------ *)
+(* Float32 convenience API (double in, double out, float32 values).    *)
+(* ------------------------------------------------------------------ *)
+
+module F32 = struct
+  let fn ?quality name =
+    let g = get ?quality Specs.float32 name in
+    fun x -> G.eval_double g x
+
+  let ln ?quality () = fn ?quality "ln"
+  let log2 ?quality () = fn ?quality "log2"
+  let log10 ?quality () = fn ?quality "log10"
+  let exp ?quality () = fn ?quality "exp"
+  let exp2 ?quality () = fn ?quality "exp2"
+  let exp10 ?quality () = fn ?quality "exp10"
+  let sinh ?quality () = fn ?quality "sinh"
+  let cosh ?quality () = fn ?quality "cosh"
+  let sinpi ?quality () = fn ?quality "sinpi"
+  let cospi ?quality () = fn ?quality "cospi"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Posit32 convenience API (pattern in, pattern out).                  *)
+(* ------------------------------------------------------------------ *)
+
+module P32 = struct
+  let fn ?quality name =
+    let g = get ?quality Specs.posit32 name in
+    fun pat -> G.eval_pattern g pat
+end

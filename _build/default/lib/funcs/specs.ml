@@ -1,0 +1,478 @@
+(* Assembles Rlibm.Spec values: one per (function, target).
+
+   Special-case regions (the paper's §2/§5 case analyses) are driven by
+   per-target thresholds, each derived from the format's extremes:
+
+   - [exp_hi]: x with f(x) past the format's overflow/saturation
+     boundary for every x >= exp_hi (IEEE: rounds to +inf; posit:
+     saturates to maxpos);
+   - [exp_lo]: x with f(x) at-or-below the underflow boundary (IEEE:
+     rounds to +0; posit: rounds to minpos — posits never underflow);
+   - [sinh_hi]: |x| past sinh/cosh overflow;
+   - [trig_int]: |x| at which every representable value is an integer,
+     so sinpi = 0 and cospi = +-1 exactly.
+
+   Inputs with |x| below 2^-13 short-circuit for sinh (result x), cosh
+   (result 1): the quadratic/cubic term is provably below half an ulp
+   for every 16/32-bit target (see test_specs for the machine check). *)
+
+module S = Rlibm.Spec
+module R = Reductions
+module E = Oracle.Elementary
+module Repr = Fp.Representation
+
+type target = {
+  repr : (module Repr.S);
+  tname : string;
+  nan : int;  (* NaN or NaR result pattern *)
+  pos_inf : int;  (* +overflow result: IEEE +inf, posit maxpos *)
+  neg_inf : int;  (* -overflow result *)
+  zero_result : int;  (* +underflow result: IEEE +0, posit minpos *)
+  exp_hi : float;
+  exp_lo : float;
+  exp2_hi : float;
+  exp2_lo : float;
+  exp10_hi : float;
+  exp10_lo : float;
+  sinh_hi : float;
+  trig_int : float;
+  one_snap : float;
+      (* |x| at or below this snaps the exp family to 1.0: chosen so
+         |log_b(e)*x| is below half an ulp of 1 in the target.  Besides
+         being the paper's special case, it bounds the reduced-input
+         exponent spread, which is what keeps the exact LP's tableau
+         entries narrow (without it, reduced inputs span every binade
+         down to the smallest subnormal and simplex pivots blow up). *)
+  trig_tiny : float;
+      (* |x| at or below this makes sinpi(x) round like pi*x computed in
+         double (paper §2's first special class), and cospi(x) round to
+         1; the cubic term is provably below half an ulp. *)
+  tanh_hi : float;  (* |x| past this, tanh rounds to +-1 *)
+  expm1_lo : float;  (* x at or below this, expm1 rounds to -1 *)
+  log_zero : int;  (* result for ln(0): IEEE -inf, posit NaR *)
+}
+
+let ieee_target (fmt : Fp.Ieee.format) repr tname ~exp_hi ~exp_lo ~exp2_hi ~exp2_lo ~exp10_hi
+    ~exp10_lo ~sinh_hi ~trig_int ~one_snap ~trig_tiny ~tanh_hi ~expm1_lo =
+  {
+    repr;
+    tname;
+    nan = Fp.Ieee.nan_pattern fmt;
+    pos_inf = Fp.Ieee.inf_pattern fmt 1;
+    neg_inf = Fp.Ieee.inf_pattern fmt (-1);
+    zero_result = 0;
+    exp_hi;
+    exp_lo;
+    exp2_hi;
+    exp2_lo;
+    exp10_hi;
+    exp10_lo;
+    sinh_hi;
+    trig_int;
+    one_snap;
+    trig_tiny;
+    tanh_hi;
+    expm1_lo;
+    log_zero = Fp.Ieee.inf_pattern fmt (-1);
+  }
+
+let float32 =
+  ieee_target Fp.Ieee.float32
+    (module Fp.Fp32 : Repr.S)
+    "float32" ~exp_hi:88.8 ~exp_lo:(-104.0) ~exp2_hi:128.0 ~exp2_lo:(-150.0) ~exp10_hi:38.6
+    ~exp10_lo:(-45.2) ~sinh_hi:89.5 ~trig_int:(Float.ldexp 1.0 23)
+    ~one_snap:(Float.ldexp 1.0 (-27)) ~trig_tiny:(Float.ldexp 1.0 (-24)) ~tanh_hi:9.2
+    ~expm1_lo:(-17.4)
+
+let bfloat16 =
+  ieee_target Fp.Ieee.bfloat16
+    (module Fp.Bfloat16 : Repr.S)
+    "bfloat16" ~exp_hi:89.0 ~exp_lo:(-93.0) ~exp2_hi:128.0 ~exp2_lo:(-134.0) ~exp10_hi:38.6
+    ~exp10_lo:(-40.4) ~sinh_hi:89.5 ~trig_int:256.0 ~one_snap:(Float.ldexp 1.0 (-12))
+    ~trig_tiny:(Float.ldexp 1.0 (-9)) ~tanh_hi:3.9 ~expm1_lo:(-6.4)
+
+let float16 =
+  ieee_target Fp.Ieee.float16
+    (module Fp.Float16 : Repr.S)
+    "float16" ~exp_hi:11.1 ~exp_lo:(-17.4) ~exp2_hi:16.0 ~exp2_lo:(-25.0) ~exp10_hi:4.83
+    ~exp10_lo:(-7.6) ~sinh_hi:11.8 ~trig_int:2048.0 ~one_snap:(Float.ldexp 1.0 (-14))
+    ~trig_tiny:(Float.ldexp 1.0 (-11)) ~tanh_hi:4.4 ~expm1_lo:(-7.8)
+
+let posit_target n repr tname ~exp_hi ~exp_lo ~exp2_hi ~exp2_lo ~exp10_hi ~exp10_lo ~sinh_hi
+    ~one_snap =
+  let nar = 1 lsl (n - 1) in
+  {
+    repr;
+    tname;
+    nan = nar;
+    pos_inf = nar - 1 (* maxpos *);
+    neg_inf = nar + 1 (* -maxpos *);
+    zero_result = 1 (* minpos: posits never round a positive value to 0 *);
+    exp_hi;
+    exp_lo;
+    exp2_hi;
+    exp2_lo;
+    exp10_hi;
+    exp10_lo;
+    sinh_hi;
+    trig_int = Float.ldexp 1.0 26 (* all posit values this large are integers *);
+    one_snap;
+    trig_tiny = Float.ldexp 1.0 (-30);
+    tanh_hi = 10.8;
+    expm1_lo = -20.0;
+    log_zero = nar;
+  }
+
+let posit32 =
+  posit_target 32
+    (module Posit.Posit32 : Repr.S)
+    "posit32" ~exp_hi:83.6 ~exp_lo:(-83.6) ~exp2_hi:120.5 ~exp2_lo:(-120.5) ~exp10_hi:36.3
+    ~exp10_lo:(-36.3) ~sinh_hi:84.5 ~one_snap:(Float.ldexp 1.0 (-31))
+
+let posit16 =
+  posit_target 16
+    (module Posit.Posit16 : Repr.S)
+    "posit16" ~exp_hi:19.8 ~exp_lo:(-19.8) ~exp2_hi:28.5 ~exp2_lo:(-28.5) ~exp10_hi:8.6
+    ~exp10_lo:(-8.6) ~sinh_hi:20.5 ~one_snap:(Float.ldexp 1.0 (-16))
+
+(* ------------------------------------------------------------------ *)
+(* Special-case builders.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap a Finite-case function with the NaN/inf plumbing. *)
+let with_classify (t : target) ~on_pos_inf ~on_neg_inf finite pat =
+  let module T = (val t.repr) in
+  match T.classify pat with
+  | Repr.Nan -> Some t.nan
+  | Repr.Inf s -> Some (if s > 0 then on_pos_inf else on_neg_inf)
+  | Repr.Finite -> finite (T.to_double pat) pat
+
+let exp_family_special (t : target) ~hi ~lo =
+  let module T = (val t.repr) in
+  let one = T.of_double 1.0 in
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.zero_result (fun x _pat ->
+      if x >= hi then Some t.pos_inf
+      else if x <= lo then Some t.zero_result
+      else if Float.abs x <= t.one_snap then Some one
+      else None)
+
+let log_family_special (t : target) =
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.nan (fun x _pat ->
+      if x = 0.0 then Some t.log_zero else if x < 0.0 then Some t.nan else None)
+
+let sinh_special (t : target) =
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.neg_inf (fun x pat ->
+      if x >= t.sinh_hi then Some t.pos_inf
+      else if x <= -.t.sinh_hi then Some t.neg_inf
+      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some pat (* sinh x ~ x *)
+      else None)
+
+let cosh_special (t : target) =
+  let module T = (val t.repr) in
+  let one = T.of_double 1.0 in
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.pos_inf (fun x _pat ->
+      if Float.abs x >= t.sinh_hi then Some t.pos_inf
+      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some one
+      else None)
+
+let sinpi_special (t : target) =
+  let module T = (val t.repr) in
+  with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x _pat ->
+      if Float.abs x >= t.trig_int then Some 0 (* integer input: sinpi = 0 *)
+      else if Float.abs x <= t.trig_tiny then
+        (* pi*x in double, rounded once: the cubic term is below half an
+           ulp at this threshold (paper §2, first special class). *)
+        Some (T.of_double (Lazy.force Tables.pi_d *. x))
+      else None)
+
+let cospi_special (t : target) =
+  let module T = (val t.repr) in
+  let one = T.of_double 1.0 and minus_one = T.of_double (-1.0) in
+  with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x _pat ->
+      let a = Float.abs x in
+      if a >= t.trig_int then
+        (* Every such value is an integer; Float.rem is exact. *)
+        Some (if Float.rem a 2.0 = 1.0 then minus_one else one)
+      else if a <= Float.ldexp 1.0 (-13) then Some one
+      else None)
+
+let tanh_special (t : target) =
+  let module T = (val t.repr) in
+  let one = T.of_double 1.0 and minus_one = T.of_double (-1.0) in
+  with_classify t ~on_pos_inf:one ~on_neg_inf:minus_one (fun x pat ->
+      if x >= t.tanh_hi then Some one
+      else if x <= -.t.tanh_hi then Some minus_one
+      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some pat (* tanh x ~ x *)
+      else None)
+
+let expm1_special (t : target) =
+  let module T = (val t.repr) in
+  let minus_one = T.of_double (-1.0) in
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:minus_one (fun x pat ->
+      if x >= t.exp_hi then Some t.pos_inf
+      else if x <= t.expm1_lo then Some minus_one
+      else if Float.abs x <= Float.ldexp 1.0 (-26) then Some pat (* expm1 x ~ x *)
+      else None)
+
+let log1p_special (t : target) =
+  with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.nan (fun x pat ->
+      if x < -1.0 then Some t.nan
+      else if x = -1.0 then Some t.log_zero
+      else if Float.abs x <= Float.ldexp 1.0 (-26) then Some pat (* log1p x ~ x *)
+      else None)
+
+(* ------------------------------------------------------------------ *)
+(* Components.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let log_component name oracle =
+  {
+    S.cname = name;
+    coracle = oracle;
+    terms = [| 1; 2; 3 |];
+    dom_pos = Some R.log_dom_pos;
+    dom_neg = None;
+  }
+
+let exp_component name oracle ~half_width =
+  let dn, dp = R.exp_dom ~half_width in
+  { S.cname = name; coracle = oracle; terms = [| 0; 1; 2; 3 |]; dom_pos = dp; dom_neg = dn }
+
+let sinpi_r_component =
+  {
+    S.cname = "sinpi_r";
+    coracle = E.sinpi;
+    terms = [| 1; 3; 5 |];
+    dom_pos = Some R.sincospi_dom_pos;
+    dom_neg = None;
+  }
+
+let cospi_r_component =
+  {
+    S.cname = "cospi_r";
+    coracle = E.cospi;
+    terms = [| 0; 2; 4 |];
+    dom_pos = Some R.sincospi_dom_pos;
+    dom_neg = None;
+  }
+
+let sinh_r_component =
+  {
+    S.cname = "sinh_r";
+    coracle = E.sinh;
+    terms = [| 1; 3; 5 |];
+    dom_pos = Some R.sinhcosh_dom_pos;
+    dom_neg = None;
+  }
+
+let cosh_r_component =
+  {
+    S.cname = "cosh_r";
+    coracle = E.cosh;
+    terms = [| 0; 2; 4 |];
+    dom_pos = Some R.sinhcosh_dom_pos;
+    dom_neg = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Specs.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ln (t : target) =
+  {
+    S.name = "ln";
+    repr = t.repr;
+    oracle = E.ln;
+    special = log_family_special t;
+    reduce = R.log_reduce;
+    components = [| log_component "ln_1p" E.ln_1p |];
+    compensate = R.ln_compensate;
+    split_hint = 6;
+  }
+
+let log2 (t : target) =
+  {
+    S.name = "log2";
+    repr = t.repr;
+    oracle = E.log2;
+    special = log_family_special t;
+    reduce = R.log_reduce;
+    components = [| log_component "log2_1p" E.log2_1p |];
+    compensate = R.log2_compensate;
+    split_hint = 6;
+  }
+
+let log10 (t : target) =
+  {
+    S.name = "log10";
+    repr = t.repr;
+    oracle = E.log10;
+    special = log_family_special t;
+    reduce = R.log_reduce;
+    components = [| log_component "log10_1p" E.log10_1p |];
+    compensate = R.log10_compensate;
+    split_hint = 6;
+  }
+
+let exp (t : target) =
+  {
+    S.name = "exp";
+    repr = t.repr;
+    oracle = E.exp;
+    special = exp_family_special t ~hi:t.exp_hi ~lo:t.exp_lo;
+    reduce =
+      (fun x ->
+        R.exp_reduce ~inv_c:92.332482616893656877 (* 64/ln2 *)
+          ~cw:(Lazy.force Tables.ln2_over_64) x);
+    components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
+    compensate = R.exp_compensate;
+    split_hint = 6;
+  }
+
+let exp2 (t : target) =
+  {
+    S.name = "exp2";
+    repr = t.repr;
+    oracle = E.exp2;
+    special = exp_family_special t ~hi:t.exp2_hi ~lo:t.exp2_lo;
+    reduce = R.exp2_reduce;
+    components = [| exp_component "exp2_r" E.exp2 ~half_width:0.0078125 |];
+    compensate = R.exp_compensate;
+    split_hint = 6;
+  }
+
+let exp10 (t : target) =
+  {
+    S.name = "exp10";
+    repr = t.repr;
+    oracle = E.exp10;
+    special = exp_family_special t ~hi:t.exp10_hi ~lo:t.exp10_lo;
+    reduce =
+      (fun x ->
+        R.exp_reduce ~inv_c:212.60335893188592315 (* 64*log2(10) *)
+          ~cw:(Lazy.force Tables.log10_2_over_64) x);
+    components = [| exp_component "exp10_r" E.exp10 ~half_width:0.0023526 |];
+    compensate = R.exp_compensate;
+    split_hint = 6;
+  }
+
+let sinh (t : target) =
+  {
+    S.name = "sinh";
+    repr = t.repr;
+    oracle = E.sinh;
+    special = sinh_special t;
+    reduce = R.sinhcosh_reduce;
+    components = [| sinh_r_component; cosh_r_component |];
+    compensate = R.sinh_compensate;
+    split_hint = 4;
+  }
+
+let cosh (t : target) =
+  {
+    S.name = "cosh";
+    repr = t.repr;
+    oracle = E.cosh;
+    special = cosh_special t;
+    reduce = R.sinhcosh_reduce;
+    components = [| sinh_r_component; cosh_r_component |];
+    compensate = R.cosh_compensate;
+    split_hint = 4;
+  }
+
+let sinpi (t : target) =
+  {
+    S.name = "sinpi";
+    repr = t.repr;
+    oracle = E.sinpi;
+    special = sinpi_special t;
+    reduce = R.sinpi_reduce;
+    components = [| sinpi_r_component; cospi_r_component |];
+    compensate = R.sinpi_compensate;
+    split_hint = 2;
+  }
+
+let cospi (t : target) =
+  {
+    S.name = "cospi";
+    repr = t.repr;
+    oracle = E.cospi;
+    special = cospi_special t;
+    reduce = R.cospi_reduce;
+    components = [| sinpi_r_component; cospi_r_component |];
+    compensate = R.cospi_compensate;
+    split_hint = 2;
+  }
+
+let tanh (t : target) =
+  {
+    S.name = "tanh";
+    repr = t.repr;
+    oracle = E.tanh;
+    special = tanh_special t;
+    reduce = R.tanh_reduce;
+    components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
+    compensate = R.tanh_compensate;
+    split_hint = 6;
+  }
+
+let expm1 (t : target) =
+  {
+    S.name = "expm1";
+    repr = t.repr;
+    oracle = E.expm1;
+    special = expm1_special t;
+    reduce =
+      (fun x ->
+        R.exp_reduce ~inv_c:92.332482616893656877 ~cw:(Lazy.force Tables.ln2_over_64) x);
+    components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
+    compensate = R.expm1_compensate;
+    split_hint = 6;
+  }
+
+let log1p (t : target) =
+  {
+    S.name = "log1p";
+    repr = t.repr;
+    oracle = E.log1p;
+    special = log1p_special t;
+    reduce = R.log1p_reduce;
+    components = [| log_component "ln_1p" E.ln_1p |];
+    compensate = R.ln_compensate;
+    split_hint = 6;
+  }
+
+(** The paper's function sets. *)
+let float_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "cosh"; "sinpi"; "cospi" ]
+
+let posit_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "cosh" ]
+
+(** Extensions beyond the paper's ten (its §7 future work). *)
+let extension_functions = [ "tanh"; "expm1"; "log1p" ]
+
+let by_name name t =
+  let spec =
+    match name with
+    | "ln" -> ln t
+    | "log2" -> log2 t
+    | "log10" -> log10 t
+    | "exp" -> exp t
+    | "exp2" -> exp2 t
+    | "exp10" -> exp10 t
+    | "sinh" -> sinh t
+    | "cosh" -> cosh t
+    | "sinpi" -> sinpi t
+    | "cospi" -> cospi t
+    | "tanh" -> tanh t
+    | "expm1" -> expm1 t
+    | "log1p" -> log1p t
+    | _ -> invalid_arg ("Specs.by_name: unknown function " ^ name)
+  in
+  (* Posit rounding intervals are tighter near 1 (tapered precision), so
+     each sub-domain's LP works harder; a shallower table keeps posit
+     generation affordable at this repo's scale (the paper, with a C+
+     SoPlex pipeline and hours of budget, went the other way and gave
+     posits *larger* tables — Table 3). *)
+  if String.length t.tname >= 5 && String.sub t.tname 0 5 = "posit" then
+    { spec with S.split_hint = Stdlib.min spec.S.split_hint 4 }
+  else spec

@@ -1,0 +1,1 @@
+lib/lp/polyfit.ml: Array Bigint Float Hashtbl List Oracle Rational Simplex Stdlib

@@ -1,0 +1,115 @@
+(* Active-set LP polynomial fitting; see the .mli for the layering. *)
+
+module Q = Rational
+module F = Oracle.Bigfloat
+
+type constr = { r : float; lo : float; hi : float }
+
+let max_active = ref 40
+
+(* q^e for small e, exactly. *)
+let qpow q e = Q.make (Bigint.pow (Q.num q) e) (Bigint.pow (Q.den q) e)
+
+(* Round a rational to at most 64 significant bits (dyadic): keeps
+   simplex minors narrow.  64 bits matters: the LP's view of P(r) then
+   differs from the double Horner evaluation by well under one double
+   ulp of the result, so when the LP parks its vertex on a constraint
+   edge, rounding the coefficients to double is symmetric noise that
+   search-and-refine resolves in a few steps.  A coarser view would bias
+   the rounding to the same side every time and the refine loop would
+   chase the edge forever. *)
+let round64 q = if Q.is_zero q then q else F.to_rational (F.of_rational ~prec:64 q)
+
+let eval_exact ~terms coeffs x =
+  let qx = Q.of_float x in
+  let acc = ref Q.zero in
+  Array.iteri (fun i e -> acc := Q.add !acc (Q.mul coeffs.(i) (qpow qx e))) terms;
+  !acc
+
+let fit ~terms cons =
+  let m = Array.length cons in
+  let nt = Array.length terms in
+  if m = 0 then Some (Array.make nt Q.zero)
+  else begin
+    (* Empty interval anywhere: no polynomial can exist. *)
+    if Array.exists (fun c -> c.lo > c.hi) cons then None
+    else begin
+      (* Variable scaling: bring the largest |r| near 1. *)
+      let rmax = Array.fold_left (fun acc c -> Float.max acc (Float.abs c.r)) 0.0 cons in
+      let sigma = if rmax = 0.0 then 0 else -snd (Float.frexp rmax) in
+      (* LP view of each constraint: rounded powers of the scaled input. *)
+      let row_of i =
+        let c = cons.(i) in
+        let qr = Q.mul_pow2 (Q.of_float c.r) sigma in
+        Array.map (fun e -> round64 (qpow qr e)) terms
+      in
+      let rows = Array.init m row_of in
+      let lo i = Q.of_float cons.(i).lo and hi i = Q.of_float cons.(i).hi in
+      (* Double-precision view of the rows for the full-set violation
+         scan.  Exactness is not needed there: the caller re-validates
+         every candidate in double against the true intervals
+         (Algorithm 4's Check), so a borderline miss only costs one more
+         counterexample round — while an exact scan over thousands of
+         constraints with fat simplex rationals dominates generation
+         time. *)
+      let rows_f = Array.map (Array.map Q.to_float) rows in
+      let violation coeffs_f i =
+        let v = ref 0.0 in
+        Array.iteri (fun j _ -> v := !v +. (coeffs_f.(j) *. rows_f.(i).(j))) terms;
+        let v = !v in
+        if v < cons.(i).lo then cons.(i).lo -. v
+        else if v > cons.(i).hi then v -. cons.(i).hi
+        else 0.0
+      in
+      (* Initial active set: an even spread, always including both ends. *)
+      let init_size = Stdlib.min m ((3 * nt) + 2) in
+      let active = Hashtbl.create 64 in
+      for k = 0 to init_size - 1 do
+        Hashtbl.replace active (k * (m - 1) / Stdlib.max 1 (init_size - 1)) ()
+      done;
+      let solve_active () =
+        let idx = Hashtbl.fold (fun i () acc -> i :: acc) active [] |> List.sort compare in
+        let k = List.length idx in
+        let a = Array.make_matrix (2 * k) nt Q.zero in
+        let b = Array.make (2 * k) Q.zero in
+        List.iteri
+          (fun p i ->
+            (* row <= hi  and  -row <= -lo *)
+            Array.iteri
+              (fun j v ->
+                a.(p).(j) <- v;
+                a.(k + p).(j) <- Q.neg v)
+              rows.(i);
+            b.(p) <- hi i;
+            b.(k + p) <- Q.neg (lo i))
+          idx;
+        Simplex.feasible ~a ~b
+      in
+      let rec loop rounds =
+        if rounds > 60 || Hashtbl.length active > !max_active then None
+        else begin
+          match solve_active () with
+          | Simplex.Infeasible | Simplex.Unknown -> None
+          | Simplex.Feasible coeffs -> (
+              (* Gather the worst violations over the full set. *)
+              let coeffs_f = Array.map Q.to_float coeffs in
+              let viols = ref [] in
+              for i = 0 to m - 1 do
+                if not (Hashtbl.mem active i) then begin
+                  let v = violation coeffs_f i in
+                  if v > 0.0 then viols := (v, i) :: !viols
+                end
+              done;
+              match !viols with
+              | [] ->
+                  (* Undo the variable scaling: c_j <- c_j * 2^(e_j*sigma). *)
+                  Some (Array.mapi (fun j c -> Q.mul_pow2 c (terms.(j) * sigma)) coeffs)
+              | vs ->
+                  let vs = List.sort (fun ((a : float), _) (b, _) -> compare b a) vs in
+                  List.iteri (fun k (_, i) -> if k < 16 then Hashtbl.replace active i ()) vs;
+                  loop (rounds + 1))
+        end
+      in
+      loop 0
+    end
+  end

@@ -1,0 +1,38 @@
+(** Polynomial fitting by linear programming — the paper's
+    `GetCoeffsUsingLP` (§3.4).
+
+    Given reduced constraints [(r_i, [l_i, h_i])] and a term structure
+    (the exponents present in the polynomial; the paper's "odd", "even"
+    or full polynomials), find rational coefficients [c] with
+    [l_i <= sum_j c_j * r_i^(t_j) <= h_i] for every sampled constraint.
+
+    Two engineering layers sit between the caller and the simplex
+    kernel, both sound with respect to final library correctness because
+    every candidate polynomial is re-validated in double over the full
+    constraint set by the counterexample loop (Algorithm 4):
+
+    - {b variable scaling}: the reduced input is rescaled by a power of
+      two so its powers stay near 1 — the paper's §3.2 observation that
+      LP conditioning collapses when the domain mixes very large and
+      very small magnitudes;
+    - {b entry rounding}: scaled powers are rounded to 64 significant
+      bits, keeping simplex pivots on small rationals. *)
+
+type constr = { r : float; lo : float; hi : float }
+
+(** [fit ~terms cons] returns coefficients (aligned with [terms], as
+    exact rationals) of a polynomial satisfying every constraint in the
+    LP's rounded view of [cons], or [None] when the LP proves the system
+    infeasible / gives up.  [terms] must be strictly increasing
+    exponents, e.g. [[|0;1;2;3|]] or [[|1;3;5|]]. *)
+val fit : terms:int array -> constr array -> Rational.t array option
+
+(** Evaluate a fitted polynomial (exact coefficients) at a double point,
+    exactly. *)
+val eval_exact : terms:int array -> Rational.t array -> float -> Rational.t
+
+(** Bound on the active-set size before giving up (default 40): past
+    this the exact-rational simplex tableau dominates generation time,
+    and a fit needing that many active constraints rarely checks out
+    against the full set anyway — splitting the domain is cheaper. *)
+val max_active : int ref

@@ -1,0 +1,21 @@
+(** Exact rational feasibility solver (two-phase primal simplex).
+
+    This is the LP kernel of the reproduction's SoPlex substitute: the
+    paper's `GetCoeffsUsingLP` (§3.4) asks only for *a* feasible point of
+    the system [l <= P(r_i) <= h_i], so the solver exposes feasibility of
+    [A x <= b] over free variables.  Arithmetic is exact throughout
+    (Bland's rule, so no cycling); an iteration cap turns pathological
+    instances into a clean [Unknown]. *)
+
+type outcome =
+  | Feasible of Rational.t array  (** a point satisfying every row *)
+  | Infeasible  (** proven: the phase-1 optimum is positive *)
+  | Unknown  (** iteration cap hit; treat as "no polynomial found" *)
+
+(** [feasible ~a ~b] decides [exists x. a x <= b] with [x] free.
+    [a] is an [m x n] dense matrix (rows of equal length [n]).
+    @raise Invalid_argument on ragged or empty input. *)
+val feasible : a:Rational.t array array -> b:Rational.t array -> outcome
+
+(** Iteration cap for a single solve (default 20000). *)
+val max_pivots : int ref

@@ -1,0 +1,1 @@
+lib/oracle/bigfloat.ml: Bigint Float Format Int64 Rational Stdlib

@@ -1,0 +1,1 @@
+lib/oracle/bigfloat.mli: Bigint Format Rational

@@ -1,0 +1,1 @@
+lib/oracle/elementary.ml: Bigfloat Bigint Float Hashtbl Rational

@@ -1,0 +1,1 @@
+lib/oracle/elementary.mli: Bigfloat Rational

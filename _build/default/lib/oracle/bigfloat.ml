@@ -1,0 +1,134 @@
+(* Arbitrary-precision binary floats: value = m * 2^e with signed bignum
+   mantissa.  Kept normalized so a zero mantissa implies the canonical
+   zero (e = 0); trailing zero bits of the mantissa are NOT stripped
+   eagerly except by [round]. *)
+
+module B = Bigint
+
+type t = { m : B.t; e : int }
+
+let zero = { m = B.zero; e = 0 }
+let make m e = if B.is_zero m then zero else { m; e }
+let of_bigint n = make n 0
+let of_int n = of_bigint (B.of_int n)
+let one = of_int 1
+let sign t = B.sign t.m
+let is_zero t = B.is_zero t.m
+let neg t = make (B.neg t.m) t.e
+let abs t = make (B.abs t.m) t.e
+let mul_pow2 t k = if is_zero t then t else { t with e = t.e + k }
+let ilog2 t = if is_zero t then invalid_arg "Bigfloat.ilog2: zero" else B.bit_length t.m - 1 + t.e
+
+let of_float x =
+  if not (Float.is_finite x) then invalid_arg "Bigfloat.of_float: not finite";
+  if x = 0.0 then zero
+  else begin
+    let m, e = Float.frexp x in
+    make (B.of_int (Int64.to_int (Int64.of_float (Float.ldexp m 53)))) (e - 53)
+  end
+
+let of_dyadic q =
+  let d = Rational.den q in
+  if B.is_zero (Rational.num q) then zero
+  else begin
+    (* A normalized denominator that is a power of two has a single set bit. *)
+    let k = B.trailing_zeros d in
+    if not (B.equal d (B.shift_left B.one k)) then invalid_arg "Bigfloat.of_dyadic: not dyadic";
+    make (Rational.num q) (-k)
+  end
+
+(* Round the mantissa to [prec] bits, nearest-even. *)
+let round ~prec t =
+  if is_zero t then t
+  else begin
+    let bl = B.bit_length t.m in
+    if bl <= prec then t
+    else begin
+      let sh = bl - prec in
+      let a = B.abs t.m in
+      let head = B.shift_right a sh in
+      let rnd = B.testbit a (sh - 1) in
+      let low = B.sub a (B.shift_left (B.shift_right a (sh - 1)) (sh - 1)) in
+      let head = if rnd && ((not (B.is_zero low)) || not (B.is_even head)) then B.add head B.one else head in
+      let head = if B.sign t.m < 0 then B.neg head else head in
+      make head (t.e + sh)
+    end
+  end
+
+let of_rational ~prec q =
+  if Rational.is_zero q then zero
+  else begin
+    let n = Rational.num q and d = Rational.den q in
+    (* Scale the numerator so the quotient carries prec+2 significant bits,
+       then let [round] finish the job using the remainder as sticky. *)
+    let sh = prec + 2 + B.bit_length d - B.bit_length n in
+    let sh = max sh 0 in
+    let quot, rem = B.divmod (B.shift_left n sh) d in
+    let sticky = if B.is_zero rem then B.zero else B.one in
+    (* Fold the sticky into an extra low bit so nearest-even sees it. *)
+    round ~prec (make (B.add (B.shift_left quot 1) (if B.sign n < 0 then B.neg sticky else sticky)) (-sh - 1))
+  end
+
+let compare a b =
+  let sa = sign a and sb = sign b in
+  if sa <> sb then Stdlib.compare sa sb
+  else if sa = 0 then 0
+  else begin
+    (* Same sign: align exponents and compare mantissas. *)
+    let d = a.e - b.e in
+    if d >= 0 then B.compare (B.shift_left a.m d) b.m else B.compare a.m (B.shift_left b.m (-d))
+  end
+
+let equal a b = compare a b = 0
+
+let add ~prec a b =
+  if is_zero a then round ~prec b
+  else if is_zero b then round ~prec a
+  else begin
+    let hi, lo = if a.e >= b.e then (a, b) else (b, a) in
+    let gap = hi.e - lo.e in
+    let lo_bits = B.bit_length lo.m in
+    let hi_top = B.bit_length hi.m + hi.e in
+    let lo_top = lo_bits + lo.e in
+    if hi_top - lo_top > prec + 8 then begin
+      (* The small operand is far below the rounding precision: fold it
+         into a sticky nudge one bit below the working width. *)
+      let sh = prec + 8 in
+      let wide = B.shift_left hi.m sh in
+      let nudge = if B.sign lo.m >= 0 then B.one else B.minus_one in
+      round ~prec (make (B.add wide nudge) (hi.e - sh))
+    end
+    else round ~prec (make (B.add (B.shift_left hi.m gap) lo.m) lo.e)
+  end
+
+let sub ~prec a b = add ~prec a (neg b)
+let mul ~prec a b = round ~prec (make (B.mul a.m b.m) (a.e + b.e))
+
+let div ~prec a b =
+  if is_zero b then raise Division_by_zero;
+  if is_zero a then zero
+  else begin
+    let sh = prec + 2 + B.bit_length b.m - B.bit_length a.m in
+    let sh = max sh 0 in
+    let quot, rem = B.divmod (B.shift_left a.m sh) b.m in
+    let sticky = if B.is_zero rem then B.zero else B.one in
+    let sign_q = B.sign a.m * B.sign b.m in
+    let quot = B.abs quot and e = a.e - b.e - sh in
+    let withsticky = B.add (B.shift_left quot 1) sticky in
+    let withsticky = if sign_q < 0 then B.neg withsticky else withsticky in
+    round ~prec (make withsticky (e - 1))
+  end
+
+let mul_int ~prec t n = round ~prec (make (B.mul_int t.m n) t.e)
+let div_int ~prec t n = div ~prec t (of_int n)
+
+let to_rational t =
+  if is_zero t then Rational.zero
+  else if t.e >= 0 then Rational.of_bigint (B.shift_left t.m t.e)
+  else Rational.make t.m (B.shift_left B.one (-t.e))
+
+let to_float t = Rational.to_float (to_rational t)
+
+let pp fmt t =
+  if is_zero t then Format.pp_print_string fmt "0"
+  else Format.fprintf fmt "%a*2^%d" B.pp t.m t.e

@@ -1,0 +1,82 @@
+(** Arbitrary-precision binary floating point.
+
+    A value is [m * 2^e] with a signed arbitrary-precision mantissa [m]
+    and a machine-integer exponent.  All rounding operations take an
+    explicit precision [prec] (mantissa bits) and round to nearest, ties
+    to even.  Together with {!Elementary} this is the reproduction's
+    substitute for the MPFR oracle used by RLIBM-32 (§4.1 of the paper).
+
+    Error contract: [add], [sub], [mul] and [div] introduce a relative
+    error of at most [2^(1-prec)] ("one ulp") per operation; exact
+    constructors introduce none. *)
+
+type t
+
+(** {1 Constructors} *)
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+(** [of_float x] represents the finite double [x] exactly.
+    @raise Invalid_argument on NaN or infinities. *)
+val of_float : float -> t
+
+(** [of_bigint n] is exact. *)
+val of_bigint : Bigint.t -> t
+
+(** [make m e] is [m * 2^e], exact. *)
+val make : Bigint.t -> int -> t
+
+(** [of_dyadic q] is exact for a rational whose denominator is a power
+    of two (every double is).
+    @raise Invalid_argument otherwise. *)
+val of_dyadic : Rational.t -> t
+
+(** [of_rational ~prec q] rounds an arbitrary rational to [prec] bits. *)
+val of_rational : prec:int -> Rational.t -> t
+
+(** {1 Queries} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** [ilog2 t] is [floor (log2 |t|)] for nonzero [t].
+    @raise Invalid_argument on zero. *)
+val ilog2 : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+
+(** [round ~prec t] rounds the mantissa to [prec] bits, nearest-even. *)
+val round : prec:int -> t -> t
+
+val add : prec:int -> t -> t -> t
+val sub : prec:int -> t -> t -> t
+val mul : prec:int -> t -> t -> t
+
+(** @raise Division_by_zero when the divisor is zero. *)
+val div : prec:int -> t -> t -> t
+
+(** [mul_pow2 t k] is [t * 2^k], exact. *)
+val mul_pow2 : t -> int -> t
+
+(** [mul_int ~prec t n] is [t * n] rounded. *)
+val mul_int : prec:int -> t -> int -> t
+
+(** [div_int ~prec t n] is [t / n] rounded. *)
+val div_int : prec:int -> t -> int -> t
+
+(** {1 Conversions} *)
+
+(** Exact. *)
+val to_rational : t -> Rational.t
+
+(** Correctly rounded to double. *)
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,439 @@
+(* Correctly-rounded oracle built on Bigfloat.
+
+   All approximating paths compute at a working precision [wp = prec + 40]
+   and keep series truncation below [2^(-wp-8)] relative, so the total
+   relative error stays far below the [2^(12-prec)] margin that Ziv's
+   loop assumes.  Inputs with rational function values return [Exact]:
+   those are the only points where interval refinement cannot terminate. *)
+
+module B = Bigint
+module Q = Rational
+module F = Bigfloat
+
+type result = Exact of Q.t | Approx of F.t
+type fn = prec:int -> Q.t -> result
+
+(* ------------------------------------------------------------------ *)
+(* Constants via integer fixed point at scale 2^w.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* atan(1/n) * 2^w, by the alternating Taylor series in 1/n.  Each term
+   is floored, so the absolute error is below the term count, which is
+   tiny against the 2^w scale. *)
+let atan_inv_scaled ~w n =
+  let n2 = B.of_int (n * n) in
+  let term = ref (B.div (B.shift_left B.one w) (B.of_int n)) in
+  let sum = ref B.zero in
+  let k = ref 0 in
+  while not (B.is_zero !term) do
+    let contrib = B.div !term (B.of_int ((2 * !k) + 1)) in
+    sum := if !k land 1 = 0 then B.add !sum contrib else B.sub !sum contrib;
+    term := B.div !term n2;
+    incr k
+  done;
+  !sum
+
+(* atanh(1/n) * 2^w: same series without the alternation. *)
+let atanh_inv_scaled ~w n =
+  let n2 = B.of_int (n * n) in
+  let term = ref (B.div (B.shift_left B.one w) (B.of_int n)) in
+  let sum = ref B.zero in
+  let k = ref 0 in
+  while not (B.is_zero !term) do
+    sum := B.add !sum (B.div !term (B.of_int ((2 * !k) + 1)));
+    term := B.div !term n2;
+    incr k
+  done;
+  !sum
+
+let const_cache : (string * int, F.t) Hashtbl.t = Hashtbl.create 16
+
+let cached name ~prec compute =
+  (* Quantize precision so the cache stays small across Ziv retries. *)
+  let w = ((prec + 24 + 63) / 64) * 64 in
+  match Hashtbl.find_opt const_cache (name, w) with
+  | Some v -> v
+  | None ->
+      let v = F.round ~prec:(w - 16) (F.make (compute ~w) (-w)) in
+      Hashtbl.add const_cache (name, w) v;
+      v
+
+(* Machin: pi = 16*atan(1/5) - 4*atan(1/239). *)
+let pi ~prec =
+  cached "pi" ~prec (fun ~w ->
+      B.sub (B.mul_int (atan_inv_scaled ~w 5) 16) (B.mul_int (atan_inv_scaled ~w 239) 4))
+
+(* ln 2 = 2 * atanh(1/3). *)
+let ln2 ~prec = cached "ln2" ~prec (fun ~w -> B.mul_int (atanh_inv_scaled ~w 3) 2)
+
+(* ln 10 = 3 ln 2 + 2 atanh(1/9)   (since 10 = 8 * 5/4). *)
+let ln10 ~prec =
+  cached "ln10" ~prec (fun ~w ->
+      B.add (B.mul_int (atanh_inv_scaled ~w 3) 6) (B.mul_int (atanh_inv_scaled ~w 9) 2))
+
+(* ------------------------------------------------------------------ *)
+(* Series at working precision.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let wp_of prec = prec + 40
+
+(* Dynamic stopping: terms have settled once they drop [wp]+8 bits below
+   the running sum. *)
+let negligible ~wp ~sum term =
+  F.is_zero term || (not (F.is_zero sum) && F.ilog2 term < F.ilog2 sum - wp - 8)
+
+(* exp(t) for |t| <= 0.4. *)
+let exp_series ~wp t =
+  let sum = ref F.one and term = ref F.one and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term := F.div_int ~prec:wp (F.mul ~prec:wp !term t) !k;
+    sum := F.add ~prec:wp !sum !term;
+    incr k;
+    if negligible ~wp ~sum:!sum !term then continue := false
+  done;
+  !sum
+
+(* sin(t) for t in (0, pi/2]. *)
+let sin_series ~wp t =
+  let u = F.mul ~prec:wp t t in
+  let sum = ref t and term = ref t and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let d = 2 * !k * ((2 * !k) + 1) in
+    term := F.neg (F.div_int ~prec:wp (F.mul ~prec:wp !term u) d);
+    sum := F.add ~prec:wp !sum !term;
+    incr k;
+    if negligible ~wp ~sum:!sum !term then continue := false
+  done;
+  !sum
+
+(* atanh(z) for |z| <= 1/3. *)
+let atanh_series ~wp z =
+  let u = F.mul ~prec:wp z z in
+  let pow = ref z and sum = ref z and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    pow := F.mul ~prec:wp !pow u;
+    let contrib = F.div_int ~prec:wp !pow ((2 * !k) + 1) in
+    sum := F.add ~prec:wp !sum contrib;
+    incr k;
+    if negligible ~wp ~sum:!sum contrib then continue := false
+  done;
+  !sum
+
+(* sinh(t) for |t| <= 1. *)
+let sinh_series ~wp t =
+  let u = F.mul ~prec:wp t t in
+  let sum = ref t and term = ref t and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let d = 2 * !k * ((2 * !k) + 1) in
+    term := F.div_int ~prec:wp (F.mul ~prec:wp !term u) d;
+    sum := F.add ~prec:wp !sum !term;
+    incr k;
+    if negligible ~wp ~sum:!sum !term then continue := false
+  done;
+  !sum
+
+(* cosh(t) for |t| <= 1. *)
+let cosh_series ~wp t =
+  let u = F.mul ~prec:wp t t in
+  let sum = ref F.one and term = ref F.one and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let d = ((2 * !k) - 1) * 2 * !k in
+    term := F.div_int ~prec:wp (F.mul ~prec:wp !term u) d;
+    sum := F.add ~prec:wp !sum !term;
+    incr k;
+    if negligible ~wp ~sum:!sum !term then continue := false
+  done;
+  !sum
+
+(* ------------------------------------------------------------------ *)
+(* exp and friends.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let too_large_for_exp x = Q.compare (Q.abs x) (Q.of_int (1 lsl 30)) > 0
+
+(* exp(x) as a Bigfloat; [x] must be moderate (callers special-case the
+   saturated regions of their target types first). *)
+let exp_approx ~wp x =
+  if too_large_for_exp x then invalid_arg "Elementary.exp: argument too large";
+  let k = int_of_float (Float.round (Q.to_float x *. 1.4426950408889634)) in
+  let xw = F.of_rational ~prec:(wp + 20) x in
+  let r = F.sub ~prec:(wp + 20) xw (F.mul_int ~prec:(wp + 20) (ln2 ~prec:(wp + 20)) k) in
+  F.mul_pow2 (exp_series ~wp r) k
+
+let exp ~prec x =
+  if Q.is_zero x then Exact Q.one else Approx (exp_approx ~wp:(wp_of prec) x)
+
+let exp2 ~prec x =
+  if B.equal (Q.den x) B.one then begin
+    (* Integer input: 2^n is exactly rational. *)
+    let n = B.to_int_exn (Q.num x) in
+    Exact (Q.of_pow2 n)
+  end
+  else begin
+    let wp = wp_of prec in
+    let k = B.to_int_exn (Q.round_nearest x) in
+    let r = Q.sub x (Q.of_int k) in
+    let t = F.mul ~prec:(wp + 10) (F.of_rational ~prec:(wp + 10) r) (ln2 ~prec:(wp + 10)) in
+    Approx (F.mul_pow2 (exp_series ~wp t) k)
+  end
+
+let ten_pow k = if k >= 0 then Q.of_bigint (B.pow (B.of_int 10) k) else Q.inv (Q.of_bigint (B.pow (B.of_int 10) (-k)))
+
+let exp10 ~prec x =
+  if B.equal (Q.den x) B.one then Exact (ten_pow (B.to_int_exn (Q.num x)))
+  else begin
+    let wp = wp_of prec in
+    let k = int_of_float (Float.round (Q.to_float x *. 3.321928094887362)) in
+    (* t = x*ln10 - k*ln2 cancels ~log2(k) bits; the +30 slack covers it. *)
+    let w' = wp + 30 in
+    let t =
+      F.sub ~prec:w'
+        (F.mul ~prec:w' (F.of_rational ~prec:w' x) (ln10 ~prec:w'))
+        (F.mul_int ~prec:w' (ln2 ~prec:w') k)
+    in
+    Approx (F.mul_pow2 (exp_series ~wp t) k)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Logarithms.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* ln x = 2*atanh((m-1)/(m+1)) + e*ln2 with m in [0.75, 1.5) so the two
+   contributions never cancel catastrophically. *)
+let ln_approx ~wp x =
+  if Q.sign x <= 0 then invalid_arg "Elementary.ln: nonpositive argument";
+  let e = Q.ilog2 x in
+  let m = Q.mul_pow2 x (-e) in
+  let m, e = if Q.compare m (Q.of_ints 3 2) >= 0 then (Q.mul_pow2 m (-1), e + 1) else (m, e) in
+  let z = Q.div (Q.sub m Q.one) (Q.add m Q.one) in
+  let a = atanh_series ~wp (F.of_rational ~prec:wp z) in
+  F.add ~prec:wp (F.mul_pow2 a 1) (F.mul_int ~prec:wp (ln2 ~prec:wp) e)
+
+let is_pow2 x =
+  Q.sign x > 0
+  &&
+  let n = Q.num x in
+  B.equal n (B.shift_left B.one (B.trailing_zeros n))
+
+let ln ~prec x = if Q.equal x Q.one then Exact Q.zero else Approx (ln_approx ~wp:(wp_of prec) x)
+
+let log2 ~prec x =
+  if Q.sign x <= 0 then invalid_arg "Elementary.log2: nonpositive argument";
+  if is_pow2 x then Exact (Q.of_int (Q.ilog2 x))
+  else begin
+    let wp = wp_of prec in
+    Approx (F.div ~prec:wp (ln_approx ~wp:(wp + 10) x) (ln2 ~prec:(wp + 10)))
+  end
+
+let is_pow10 x =
+  if Q.sign x <= 0 then None
+  else begin
+    let k = int_of_float (Float.round (Float.log10 (Q.to_float x))) in
+    if Q.equal x (ten_pow k) then Some k else None
+  end
+
+let log10 ~prec x =
+  if Q.sign x <= 0 then invalid_arg "Elementary.log10: nonpositive argument";
+  match is_pow10 x with
+  | Some k -> Exact (Q.of_int k)
+  | None ->
+      let wp = wp_of prec in
+      Approx (F.div ~prec:wp (ln_approx ~wp:(wp + 10) x) (ln10 ~prec:(wp + 10)))
+
+(* ln(1+r) = 2*atanh(r/(2+r)): exact cancellation-free form for the
+   reduced-domain component of the log family. *)
+let ln_1p_approx ~wp r =
+  let z = Q.div r (Q.add (Q.of_int 2) r) in
+  F.mul_pow2 (atanh_series ~wp (F.of_rational ~prec:wp z)) 1
+
+let ln_1p ~prec r = if Q.is_zero r then Exact Q.zero else Approx (ln_1p_approx ~wp:(wp_of prec) r)
+
+let log2_1p ~prec r =
+  if Q.is_zero r then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    Approx (F.div ~prec:wp (ln_1p_approx ~wp:(wp + 10) r) (ln2 ~prec:(wp + 10)))
+  end
+
+let log10_1p ~prec r =
+  if Q.is_zero r then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    Approx (F.div ~prec:wp (ln_1p_approx ~wp:(wp + 10) r) (ln10 ~prec:(wp + 10)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* sinpi / cospi.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* sin(pi*q) for q in (0, 1/2); the reduction to this domain is exact
+   rational arithmetic. *)
+let sinpi_core ~wp q =
+  let t = F.mul ~prec:wp (pi ~prec:wp) (F.of_rational ~prec:wp q) in
+  sin_series ~wp t
+
+(* Reduce x to (s, l') with sinpi(x) = s * sinpi(l'), l' in [0, 1/2]. *)
+let sinpi_reduce x =
+  let j = Q.sub x (Q.mul_pow2 (Q.of_bigint (Q.floor (Q.mul_pow2 x (-1)))) 1) in
+  let k = Q.floor j in
+  let l = Q.sub j (Q.of_bigint k) in
+  let s = if B.is_even k then 1 else -1 in
+  let l' = if Q.compare l Q.half > 0 then Q.sub Q.one l else l in
+  (s, l')
+
+let sinpi ~prec x =
+  let s, l' = sinpi_reduce x in
+  if Q.is_zero l' then Exact Q.zero
+  else if Q.equal l' Q.half then Exact (Q.of_int s)
+  else begin
+    let v = sinpi_core ~wp:(wp_of prec) l' in
+    Approx (if s < 0 then F.neg v else v)
+  end
+
+let cospi ~prec x =
+  (* cospi(x) = sinpi(1/2 - x) after exact folding. *)
+  let j = Q.sub x (Q.mul_pow2 (Q.of_bigint (Q.floor (Q.mul_pow2 x (-1)))) 1) in
+  let j' = if Q.compare j Q.one >= 0 then Q.sub (Q.of_int 2) j else j in
+  let u = Q.sub Q.half j' in
+  let s, mag = if Q.sign u >= 0 then (1, u) else (-1, Q.neg u) in
+  if Q.is_zero mag then Exact Q.zero
+  else if Q.equal mag Q.half then Exact (Q.of_int s)
+  else begin
+    let v = sinpi_core ~wp:(wp_of prec) mag in
+    Approx (if s < 0 then F.neg v else v)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* sinh / cosh.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sinh ~prec x =
+  if Q.is_zero x then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    let a = Q.abs x in
+    let v =
+      if Q.compare a Q.one < 0 then sinh_series ~wp (F.of_rational ~prec:wp a)
+      else begin
+        let e = exp_approx ~wp:(wp + 10) a in
+        F.mul_pow2 (F.sub ~prec:wp e (F.div ~prec:(wp + 10) F.one e)) (-1)
+      end
+    in
+    Approx (if Q.sign x < 0 then F.neg v else v)
+  end
+
+let cosh ~prec x =
+  if Q.is_zero x then Exact Q.one
+  else begin
+    let wp = wp_of prec in
+    let a = Q.abs x in
+    let v =
+      if Q.compare a Q.one < 0 then cosh_series ~wp (F.of_rational ~prec:wp a)
+      else begin
+        let e = exp_approx ~wp:(wp + 10) a in
+        F.mul_pow2 (F.add ~prec:wp e (F.div ~prec:(wp + 10) F.one e)) (-1)
+      end
+    in
+    Approx v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Extension functions (the paper's §7 direction: more elementary      *)
+(* functions on the same machinery).                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* expm1(x) = e^x - 1: the direct series for |x| < 1 avoids the
+   cancellation that exp(x) - 1 would suffer near zero. *)
+let expm1 ~prec x =
+  if Q.is_zero x then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    if Q.compare (Q.abs x) Q.one < 0 then begin
+      let t = F.of_rational ~prec:wp x in
+      let sum = ref t and term = ref t and k = ref 2 in
+      let continue = ref true in
+      while !continue do
+        term := F.div_int ~prec:wp (F.mul ~prec:wp !term t) !k;
+        sum := F.add ~prec:wp !sum !term;
+        incr k;
+        if negligible ~wp ~sum:!sum !term then continue := false
+      done;
+      Approx !sum
+    end
+    else Approx (F.sub ~prec:wp (exp_approx ~wp:(wp + 10) x) F.one)
+  end
+
+(* tanh(x) = (E - 1/E)/(E + 1/E) with E = e^|x|; for |x| < 1 the ratio
+   sinh/cosh of the series avoids cancellation (both series are
+   benign). *)
+let tanh ~prec x =
+  if Q.is_zero x then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    let a = Q.abs x in
+    let v =
+      if Q.compare a Q.one < 0 then begin
+        let fa = F.of_rational ~prec:(wp + 10) a in
+        F.div ~prec:wp (sinh_series ~wp:(wp + 10) fa) (cosh_series ~wp:(wp + 10) fa)
+      end
+      else begin
+        let e = exp_approx ~wp:(wp + 10) a in
+        let inv = F.div ~prec:(wp + 10) F.one e in
+        F.div ~prec:wp (F.sub ~prec:(wp + 10) e inv) (F.add ~prec:(wp + 10) e inv)
+      end
+    in
+    Approx (if Q.sign x < 0 then F.neg v else v)
+  end
+
+(* log1p under its libm name: the cancellation-free atanh form near
+   zero, the full logarithm elsewhere (the atanh series in r/(2+r)
+   stops converging as the argument grows). *)
+let log1p ~prec r =
+  if Q.is_zero r then Exact Q.zero
+  else if Q.compare (Q.abs r) (Q.of_ints 1 4) <= 0 then ln_1p ~prec r
+  else begin
+    let x = Q.add Q.one r in
+    if Q.sign x <= 0 then invalid_arg "Elementary.log1p: argument <= -1";
+    ln ~prec x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ziv's strategy.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let correctly_rounded ?(init_prec = 80) ~round (f : fn) x =
+  let rec go prec =
+    if prec > 1 lsl 16 then failwith "Elementary.correctly_rounded: Ziv loop did not converge";
+    match f ~prec x with
+    | Exact q -> round q
+    | Approx y ->
+        let qy = F.to_rational y in
+        let margin = Rational.abs (Q.mul_pow2 qy (12 - prec)) in
+        let lo = Q.sub qy margin and hi = Q.add qy margin in
+        let rlo = round lo and rhi = round hi in
+        if rlo = rhi then rlo else go (prec * 2)
+  in
+  go init_prec
+
+let to_double f x = correctly_rounded ~round:Q.to_float f x
+
+let by_name = function
+  | "exp" -> exp
+  | "exp2" -> exp2
+  | "exp10" -> exp10
+  | "ln" -> ln
+  | "log2" -> log2
+  | "log10" -> log10
+  | "sinh" -> sinh
+  | "cosh" -> cosh
+  | "sinpi" -> sinpi
+  | "cospi" -> cospi
+  | "tanh" -> tanh
+  | "expm1" -> expm1
+  | "log1p" -> log1p
+  | name -> invalid_arg ("Elementary.by_name: unknown function " ^ name)

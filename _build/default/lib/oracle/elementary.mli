@@ -1,0 +1,87 @@
+(** Correctly-rounded oracle for elementary functions.
+
+    This is the reproduction's substitute for MPFR (§4.1 of the paper):
+    each function computes an arbitrary-precision approximation whose
+    relative error is far below [2^(12-prec)], and {!correctly_rounded}
+    runs Ziv's strategy — recompute at doubled precision until the
+    enclosing interval rounds unambiguously in the caller's target
+    representation.
+
+    Every input is an exact rational (doubles convert exactly).  Inputs
+    at which the mathematical result is itself rational — the only points
+    where Ziv's loop could fail to terminate — are detected and returned
+    as [Exact] (by Lindemann–Weierstrass these are finitely describable:
+    [exp 0], [ln 1], [log2] of powers of two, [log10] of powers of ten,
+    [exp2]/[exp10] at integers, [sinpi]/[cospi] at half-integers,
+    [sinh 0], [cosh 0]). *)
+
+(** Result of one approximation round. *)
+type result =
+  | Exact of Rational.t  (** the mathematical value, exactly *)
+  | Approx of Bigfloat.t  (** relative error below [2^(12-prec)] *)
+
+(** An elementary function ready for Ziv's loop. *)
+type fn = prec:int -> Rational.t -> result
+
+(** {1 Constants}
+
+    Each has relative error at most [2^(-prec)]. *)
+
+val pi : prec:int -> Bigfloat.t
+val ln2 : prec:int -> Bigfloat.t
+val ln10 : prec:int -> Bigfloat.t
+
+(** {1 Elementary functions}
+
+    Domains: [ln], [log2], [log10] require strictly positive input and
+    raise [Invalid_argument] otherwise; the rest are total. *)
+
+val exp : fn
+val exp2 : fn
+val exp10 : fn
+val ln : fn
+val log2 : fn
+val log10 : fn
+val sinh : fn
+val cosh : fn
+val sinpi : fn
+val cospi : fn
+
+(** {1 Reduced-domain companions}
+
+    Oracles for the component functions that appear after range
+    reduction (§3.2): [*_1p r] is the function at [1 + r]. *)
+
+val ln_1p : fn
+val log2_1p : fn
+val log10_1p : fn
+
+(** {1 Extension functions}
+
+    The paper's §7 plans "approximations for all commonly used
+    elementary functions"; these three extend the library on the same
+    machinery. *)
+
+val tanh : fn
+val expm1 : fn
+
+(** [log1p] is {!ln_1p} under its libm name. *)
+val log1p : fn
+
+(** {1 Ziv's strategy} *)
+
+(** [correctly_rounded ?init_prec ~round f x] evaluates [f x] at
+    increasing precision until the interval
+    [[y*(1-2^(12-prec)), y*(1+2^(12-prec))]] rounds to a single value
+    under [round], and returns that value.  [round] must be a monotone
+    rounding function (e.g. a representation's round-to-nearest). *)
+val correctly_rounded : ?init_prec:int -> round:(Rational.t -> 'a) -> fn -> Rational.t -> 'a
+
+(** [to_double f x] is [f x] correctly rounded to double. *)
+val to_double : fn -> Rational.t -> float
+
+(** Look up an oracle by the names used throughout the repo:
+    ["exp"], ["exp2"], ["exp10"], ["ln"], ["log2"], ["log10"],
+    ["sinh"], ["cosh"], ["sinpi"], ["cospi"].
+    @raise Invalid_argument on an unknown name. *)
+val by_name : string -> fn

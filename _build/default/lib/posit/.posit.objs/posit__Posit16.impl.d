@@ -1,0 +1,1 @@
+lib/posit/posit16.ml: Posit_codec

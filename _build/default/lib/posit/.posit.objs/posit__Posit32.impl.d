@@ -1,0 +1,1 @@
+lib/posit/posit32.ml: Posit_codec

@@ -1,0 +1,1 @@
+lib/posit/posit8.ml: Posit_codec

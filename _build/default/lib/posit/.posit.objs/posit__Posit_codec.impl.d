@@ -1,0 +1,1 @@
+lib/posit/posit_codec.ml: Bigint Float Fp Int64 Rational Stdlib

@@ -1,0 +1,6 @@
+(* posit<16,1>: the 16-bit posit of the original RLIBM work; small
+   enough for exhaustive end-to-end validation. *)
+
+include Posit_codec.Make (struct
+  let params = { Posit_codec.n = 16; es = 1; name = "posit16" }
+end)

@@ -1,0 +1,5 @@
+(* posit<32,2>: the paper's second 32-bit target type (Table 2). *)
+
+include Posit_codec.Make (struct
+  let params = { Posit_codec.n = 32; es = 2; name = "posit32" }
+end)

@@ -1,0 +1,8 @@
+(* posit<8,0>: the smallest standard posit.  Not part of the paper's
+   evaluation, but the generic codec supports it for free and the tiny
+   pattern space (256 values) makes it a brutal exhaustive test of the
+   rounding rules. *)
+
+include Posit_codec.Make (struct
+  let params = { Posit_codec.n = 8; es = 0; name = "posit8" }
+end)

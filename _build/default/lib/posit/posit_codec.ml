@@ -1,0 +1,170 @@
+(* Generic posit<n,es> codec (Gustafson's Type III unums), the
+   reproduction's SoftPosit substitute.
+
+   A nonzero, non-NaR posit encodes
+       (-1)^sign * (1 + frac/2^fb) * 2^(k*2^es + e)
+   where the regime field (a run of identical bits) gives k, the next
+   [es] bits give e, and the rest is the fraction.  Rounding is round to
+   nearest with ties to the even *pattern*, and saturates: no nonzero
+   real ever rounds to zero or across maxpos (the paper leans on exactly
+   this in Table 2 — repurposed double libms go wrong on posits because
+   doubles overflow and underflow where posits saturate). *)
+
+module B = Bigint
+module Q = Rational
+
+type params = { n : int; es : int; name : string }
+
+(* Decoded view of a finite nonzero posit. *)
+type decoded = { sign : int; scale : int; fb : int; frac : int }
+
+let mask p = (1 lsl p.n) - 1
+let nar p = 1 lsl (p.n - 1)
+let maxpos p = (1 lsl (p.n - 1)) - 1
+let minpos_pat = 1
+
+(* Largest magnitude scale: regime can announce at most k = n-2. *)
+let smax p = ((p.n - 2) lsl p.es) + ((1 lsl p.es) - 1)
+
+let classify p pat =
+  if pat land mask p = nar p then Fp.Representation.Nan else Fp.Representation.Finite
+
+(* Decode a finite nonzero pattern. *)
+let decode p pat =
+  let pat = pat land mask p in
+  assert (pat <> 0 && pat <> nar p);
+  let sign = if pat land nar p = 0 then 1 else -1 in
+  let body = if sign < 0 then (1 lsl p.n) - pat else pat in
+  (* body in (0, 2^(n-1)); scan the regime run from bit n-2 down. *)
+  let r0 = (body lsr (p.n - 2)) land 1 in
+  let m = ref 1 in
+  while p.n - 2 - !m >= 0 && (body lsr (p.n - 2 - !m)) land 1 = r0 do
+    incr m
+  done;
+  let m = !m in
+  let k = if r0 = 1 then m - 1 else -m in
+  (* Bits remaining below the regime terminator. *)
+  let rem_bits = Stdlib.max 0 (p.n - 2 - m) in
+  let rem = body land ((1 lsl rem_bits) - 1) in
+  let e =
+    if rem_bits >= p.es then rem lsr (rem_bits - p.es)
+    else rem lsl (p.es - rem_bits)
+  in
+  let fb = Stdlib.max 0 (rem_bits - p.es) in
+  let frac = rem land ((1 lsl fb) - 1) in
+  { sign; scale = (k lsl p.es) + e; fb; frac }
+
+let to_double p pat =
+  let pat = pat land mask p in
+  if pat = 0 then 0.0
+  else if pat = nar p then Float.nan
+  else begin
+    let d = decode p pat in
+    let v = Float.ldexp (float_of_int ((1 lsl d.fb) + d.frac)) (d.scale - d.fb) in
+    if d.sign < 0 then -.v else v
+  end
+
+let to_rational p pat =
+  let pat = pat land mask p in
+  if pat = 0 then Q.zero
+  else if pat = nar p then invalid_arg (p.name ^ ".to_rational: NaR")
+  else begin
+    let d = decode p pat in
+    let v = Q.mul_pow2 (Q.of_int ((1 lsl d.fb) + d.frac)) (d.scale - d.fb) in
+    if d.sign < 0 then Q.neg v else v
+  end
+
+(* Assemble and round: given sign, scale s and an fb-bit fraction head
+   [frac] (plus a sticky flag for dropped fraction bits), produce the
+   final pattern.  The body bit string is regime|exponent|fraction; we
+   keep its top n-1 bits and round with guard/sticky, ties to even
+   pattern. *)
+let assemble p ~sign ~s ~fb ~frac ~sticky =
+  if s > smax p then (if sign < 0 then (1 lsl p.n) - maxpos p else maxpos p)
+  else if s < -smax p then (if sign < 0 then (1 lsl p.n) - minpos_pat else minpos_pat)
+  else begin
+    let k = s asr p.es in
+    let e = s land ((1 lsl p.es) - 1) in
+    let regime, rl = if k >= 0 then (((1 lsl (k + 1)) - 1) lsl 1, k + 2) else (1, -k + 1) in
+    (* Shrink the fraction so the whole body fits a native int; dropped
+       bits fold into the sticky flag. *)
+    let avail = 60 - rl - p.es in
+    let frac, sticky, fb =
+      if fb <= avail then (frac, sticky, fb)
+      else
+        ( frac lsr (fb - avail),
+          sticky || frac land ((1 lsl (fb - avail)) - 1) <> 0,
+          avail )
+    in
+    let body = (((regime lsl p.es) lor e) lsl fb) lor frac in
+    let len = rl + p.es + fb in
+    let t = p.n - 1 in
+    (* fb is always chosen large enough that len > t. *)
+    let head = body lsr (len - t) in
+    let round = (body lsr (len - t - 1)) land 1 = 1 in
+    let sticky = sticky || body land ((1 lsl (len - t - 1)) - 1) <> 0 in
+    let head = if round && (sticky || head land 1 = 1) then head + 1 else head in
+    let head = if head = 0 then minpos_pat else if head > maxpos p then maxpos p else head in
+    if sign < 0 then ((1 lsl p.n) - head) land mask p else head
+  end
+
+let round_rational p q =
+  if Q.is_zero q then 0
+  else begin
+    let sign = Q.sign q in
+    let a = Q.abs q in
+    let s = Q.ilog2 a in
+    if s > smax p || s < -smax p then assemble p ~sign ~s ~fb:0 ~frac:0 ~sticky:false
+    else begin
+      (* fraction = a*2^-s - 1 in [0,1); extract n+8 bits exactly. *)
+      let fb = p.n + 8 in
+      let num = Q.num a and den = Q.den a in
+      let num' = if s >= 0 then num else B.shift_left num (-s) in
+      let den' = if s >= 0 then B.shift_left den s else den in
+      let fnum = B.sub num' den' in
+      let quot, rem = B.divmod (B.shift_left fnum fb) den' in
+      assemble p ~sign ~s ~fb ~frac:(B.to_int_exn quot) ~sticky:(not (B.is_zero rem))
+    end
+  end
+
+let of_double p x =
+  if x = 0.0 then 0
+  else if not (Float.is_finite x) then nar p
+  else begin
+    let sign = if x < 0.0 then -1 else 1 in
+    let m, ex = Float.frexp (Float.abs x) in
+    let mant = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let s = ex - 1 in
+    if s > smax p || s < -smax p then assemble p ~sign ~s ~fb:0 ~frac:0 ~sticky:false
+    else begin
+      (* Take as many of the 52 explicit mantissa bits as fit in a native
+         int alongside regime and exponent. *)
+      let k = s asr p.es in
+      let rl = if k >= 0 then k + 2 else -k + 1 in
+      let avail = 60 - rl - p.es in
+      let fb = Stdlib.min 52 avail in
+      let low = mant land ((1 lsl 52) - 1) in
+      let frac = low lsr (52 - fb) in
+      let sticky = low land ((1 lsl (52 - fb)) - 1) <> 0 in
+      assemble p ~sign ~s ~fb ~frac ~sticky
+    end
+  end
+
+let order_key p pat =
+  let pat = pat land mask p in
+  if pat < nar p then pat else pat - (1 lsl p.n)
+
+(** Instantiate a posit format as a {!Fp.Representation.S}. *)
+module Make (P : sig
+  val params : params
+end) : Fp.Representation.S = struct
+  let p = P.params
+  let name = p.name
+  let bits = p.n
+  let classify pat = classify p pat
+  let to_double pat = to_double p pat
+  let to_rational pat = to_rational p pat
+  let round_rational q = round_rational p q
+  let of_double x = of_double p x
+  let order_key pat = order_key p pat
+end

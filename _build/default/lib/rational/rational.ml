@@ -1,0 +1,138 @@
+(* Exact rationals, normalized with a positive denominator. *)
+
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+
+let zero = { n = B.zero; d = B.one }
+let of_bigint n = { n; d = B.one }
+let of_int n = of_bigint (B.of_int n)
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then zero
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    (* Dyadic fast path: when the denominator is a power of two — true
+       for everything derived from doubles, which is every number the LP
+       solver touches — normalization is a shift, not a gcd.  This keeps
+       exact simplex pivots cheap (the general binary gcd on wide
+       entries would otherwise dominate them). *)
+    let dz = B.trailing_zeros den in
+    if B.equal den (B.shift_left B.one dz) then begin
+      let s = Stdlib.min dz (B.trailing_zeros num) in
+      { n = B.shift_right num s; d = B.shift_left B.one (dz - s) }
+    end
+    else begin
+      let g = B.gcd num den in
+      if B.equal g B.one then { n = num; d = den } else { n = B.div num g; d = B.div den g }
+    end
+  end
+
+let of_ints a b = make (B.of_int a) (B.of_int b)
+let half = of_ints 1 2
+let num t = t.n
+let den t = t.d
+let sign t = B.sign t.n
+let is_zero t = B.is_zero t.n
+let neg t = { t with n = B.neg t.n }
+let abs t = { t with n = B.abs t.n }
+
+let add a b =
+  if B.equal a.d b.d then make (B.add a.n b.n) a.d
+  else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.n b.n) (B.mul a.d b.d)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if B.sign t.n < 0 then { n = B.neg t.d; d = B.neg t.n } else { n = t.d; d = t.n }
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  (* Cross-multiply; denominators are positive by invariant. *)
+  B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+
+let equal a b = B.equal a.n b.n && B.equal a.d b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let mul_pow2 t k =
+  if is_zero t || k = 0 then t
+  else if k > 0 then make (B.shift_left t.n k) t.d
+  else make t.n (B.shift_left t.d (-k))
+
+let of_pow2 k = mul_pow2 one k
+
+let of_float x =
+  if not (Float.is_finite x) then invalid_arg "Rational.of_float: not finite";
+  if x = 0.0 then zero
+  else begin
+    let m, e = Float.frexp x in
+    (* m * 2^53 is an exact 53-bit integer for any finite double. *)
+    let n = B.of_int (Int64.to_int (Int64.of_float (Float.ldexp m 53))) in
+    mul_pow2 (of_bigint n) (e - 53)
+  end
+
+let floor t =
+  let q, r = B.divmod t.n t.d in
+  if B.sign r < 0 then B.sub q B.one else q
+
+let round_nearest t =
+  let s = sign t in
+  if s = 0 then B.zero
+  else begin
+    let f = floor (add (abs t) half) in
+    if s < 0 then B.neg f else f
+  end
+
+(* Floor of log2 |t| for nonzero t. *)
+let ilog2 t =
+  if is_zero t then invalid_arg "Rational.ilog2: zero";
+  let bn = B.bit_length t.n and bd = B.bit_length t.d in
+  let e = bn - bd in
+  (* |t| in [2^(e-1), 2^(e+1)); decide which power-of-two bracket holds. *)
+  let lhs = if e >= 0 then B.abs t.n else B.shift_left (B.abs t.n) (-e) in
+  let rhs = if e >= 0 then B.shift_left t.d e else t.d in
+  if B.compare lhs rhs >= 0 then e else e - 1
+
+let to_float t =
+  if is_zero t then 0.0
+  else begin
+    let s = sign t in
+    let a = abs t in
+    let e = ilog2 a in
+    if e >= 1024 then if s > 0 then infinity else neg_infinity
+    else if e < -1075 then if s > 0 then 0.0 else -0.0
+    else begin
+      (* Precision shrinks below the normal range (gradual underflow). *)
+      let prec = if e >= -1022 then 53 else Stdlib.max 0 (e + 1075) in
+      if prec = 0 then (* e = -1075: in [2^-1075, 2^-1074); tie rounds to 0 *)
+        let is_tie = equal a (of_pow2 (-1075)) in
+        let v = if is_tie then 0.0 else Float.ldexp 1.0 (-1074) in
+        if s > 0 then v else -.v
+      else begin
+        let k = prec - 1 - e in
+        let num = if k >= 0 then B.shift_left a.n k else a.n in
+        let den = if k >= 0 then a.d else B.shift_left a.d (-k) in
+        let q, r = B.divmod num den in
+        let m = B.to_int_exn q in
+        let twice_r = B.shift_left r 1 in
+        let c = B.compare twice_r den in
+        let m = if c > 0 || (c = 0 && m land 1 = 1) then m + 1 else m in
+        let v = Float.ldexp (float_of_int m) (e - prec + 1) in
+        let v = if Float.is_finite v then v else infinity in
+        if s > 0 then v else -.v
+      end
+    end
+  end
+
+let to_string t =
+  if B.equal t.d B.one then B.to_string t.n
+  else B.to_string t.n ^ "/" ^ B.to_string t.d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

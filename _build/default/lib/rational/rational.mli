@@ -1,0 +1,81 @@
+(** Exact rational arithmetic.
+
+    Rationals are kept normalized: the denominator is positive and
+    [gcd num den = 1].  They are the number type of the LP solver
+    ({!Lp}) — the SoPlex substitute — and the exchange format between
+    double-precision values and the exact world: every finite double is a
+    rational with a power-of-two denominator, so {!of_float} is exact and
+    {!to_float} is the only place a rounding decision is made. *)
+
+type t
+
+(** {1 Constants and constructors} *)
+
+val zero : t
+val one : t
+val minus_one : t
+val half : t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+(** [make num den] is [num/den] normalized.
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_ints : int -> int -> t
+
+(** [of_float x] is the exact rational value of the finite double [x].
+    @raise Invalid_argument on NaN or infinities. *)
+val of_float : float -> t
+
+(** [of_pow2 k] is [2^k] for any sign of [k]. *)
+val of_pow2 : int -> t
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** {1 Queries} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when the divisor is zero. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+val mul_pow2 : t -> int -> t
+
+(** {1 Conversions} *)
+
+(** [to_float t] is [t] rounded to the nearest double, ties to even,
+    with overflow to infinity and gradual underflow to subnormals. *)
+val to_float : t -> float
+
+(** [ilog2 t] is [floor (log2 |t|)] for nonzero [t]. *)
+val ilog2 : t -> int
+
+(** [floor t] is the largest integer [<= t]. *)
+val floor : t -> Bigint.t
+
+(** [round_nearest t] rounds to the nearest integer, ties away from 0. *)
+val round_nearest : t -> Bigint.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

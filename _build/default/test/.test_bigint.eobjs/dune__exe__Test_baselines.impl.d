@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Float Fp List Oracle Posit Random Rational Test_util

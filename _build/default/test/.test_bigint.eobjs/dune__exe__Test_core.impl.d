@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Fp Funcs Hashtbl List Oracle Posit QCheck Random Rational Rlibm Test_util

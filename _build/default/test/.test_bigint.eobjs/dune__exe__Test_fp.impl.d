@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Float Fp Int64 List QCheck Random Rational Test_util

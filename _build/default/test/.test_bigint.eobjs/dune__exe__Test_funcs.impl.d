@@ -1,0 +1,1 @@
+test/test_funcs.ml: Alcotest Array Float Fp Funcs Int32 Int64 Lazy Oracle Posit QCheck Random Rational Rlibm Test_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baselines Float Fp Funcs Oracle Posit Printf Rational Rlibm Test_util

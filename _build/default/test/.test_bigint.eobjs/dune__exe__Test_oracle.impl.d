@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Float Fp List Oracle QCheck Random Rational Test_util

@@ -1,0 +1,1 @@
+test/test_posit.ml: Alcotest Float Fp List Posit QCheck Random Rational Test_util

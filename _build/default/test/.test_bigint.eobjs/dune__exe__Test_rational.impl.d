@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bigint Float Fp QCheck Rational Test_util

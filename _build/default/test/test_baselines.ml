@@ -1,0 +1,208 @@
+(* Comparator libraries: minimax interpolation quality, the F64/F32
+   native variants, the CR-LIBM analog's double-rounding semantics. *)
+
+module Q = Rational
+module E = Oracle.Elementary
+open Test_util
+
+let st = rand 9
+
+(* ------------------------------------------------------------------ *)
+(* Minimax (Chebyshev interpolation).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_exact () =
+  (* 2x2 system: x + y = 3, x - y = 1. *)
+  let a = [| [| Q.one; Q.one |]; [| Q.one; Q.minus_one |] |] in
+  let y = [| Q.of_int 3; Q.one |] in
+  let s = Baselines.Minimax.solve_exact a y in
+  Alcotest.check rational "x" (Q.of_int 2) s.(0);
+  Alcotest.check rational "y" Q.one s.(1);
+  Alcotest.check_raises "singular" (Invalid_argument "Minimax.solve_exact: singular system")
+    (fun () ->
+      ignore
+        (Baselines.Minimax.solve_exact [| [| Q.one; Q.one |]; [| Q.one; Q.one |] |] [| Q.one; Q.zero |]))
+
+let test_interpolation_error () =
+  (* Degree-6 interpolation of exp over the exp reduced domain: error
+     must be far below a float32 half-ulp (the F64 comparator's design
+     point). *)
+  let c = Baselines.Minimax.interpolate E.exp ~lo:(-0.0054182) ~hi:0.0054182 ~degree:6 in
+  let worst = ref 0.0 in
+  for i = 0 to 400 do
+    let x = -0.0054182 +. (float_of_int i /. 400.0 *. 2.0 *. 0.0054182) in
+    let approx = Baselines.Minimax.horner c x in
+    let exact = E.to_double E.exp (Q.of_float x) in
+    worst := Float.max !worst (Float.abs (approx -. exact))
+  done;
+  Alcotest.(check bool) "degree-6 error < 2^-45" true (!worst < Float.ldexp 1.0 (-45));
+  (* Degree-3: error sits near 2^-33 — big enough to misround float32
+     sometimes, the designed failure mode of the float comparator. *)
+  let c3 = Baselines.Minimax.interpolate E.exp ~lo:(-0.0054182) ~hi:0.0054182 ~degree:3 in
+  let worst3 = ref 0.0 in
+  for i = 0 to 400 do
+    let x = -0.0054182 +. (float_of_int i /. 400.0 *. 2.0 *. 0.0054182) in
+    worst3 := Float.max !worst3 (Float.abs (Baselines.Minimax.horner c3 x -. E.to_double E.exp (Q.of_float x)))
+  done;
+  Alcotest.(check bool) "degree-3 error < 2^-28" true (!worst3 < Float.ldexp 1.0 (-28));
+  Alcotest.(check bool) "degree-3 error > 2^-40" true (!worst3 > Float.ldexp 1.0 (-40))
+
+(* Remez exchange: equioscillation and improvement over Chebyshev
+   interpolation of the same degree. *)
+let test_remez () =
+  let lo = -0.0054182 and hi = 0.0054182 in
+  let r = Baselines.Remez.fit E.exp ~lo ~hi ~degree:3 in
+  (* The leveled error must bound the observed error within the stop
+     factor, and beat Chebyshev interpolation at equal degree. *)
+  let cheb = Baselines.Minimax.interpolate E.exp ~lo ~hi ~degree:3 in
+  let max_err coeffs =
+    let worst = ref 0.0 in
+    for i = 0 to 800 do
+      let x = lo +. ((hi -. lo) *. float_of_int i /. 800.0) in
+      let e = Baselines.Minimax.horner coeffs x -. E.to_double E.exp (Q.of_float x) in
+      worst := Float.max !worst (Float.abs e)
+    done;
+    !worst
+  in
+  let e_remez = max_err r.coeffs and e_cheb = max_err cheb in
+  Alcotest.(check bool) "remez <= chebyshev" true (e_remez <= e_cheb *. 1.0001);
+  Alcotest.(check bool) "equioscillation certificate" true
+    (e_remez <= 1.15 *. r.leveled_error && r.leveled_error <= e_remez *. 1.15);
+  Alcotest.(check bool) "converged in a few exchanges" true (r.iterations <= 30)
+
+(* ------------------------------------------------------------------ *)
+(* Native comparators.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The F64 comparator must agree with glibc's double libm to a few ulps
+   on the reduced ranges (both approximate the same real values). *)
+let test_native_f64_close_to_libm () =
+  let lib = Baselines.Native.make Baselines.Native.F64 ~trig_int:(Float.ldexp 1.0 23) in
+  let close name f g pts =
+    List.iter
+      (fun x ->
+        let a = f x and b = g x in
+        if ulps a b > 8L then Alcotest.failf "%s at %h: %h vs %h" name x a b)
+      pts
+  in
+  let pos = List.init 60 (fun i -> Float.ldexp (1.0 +. (float_of_int i /. 61.0)) (i - 30)) in
+  let sym = List.concat_map (fun x -> [ x; -.x ]) (List.init 40 (fun i -> float_of_int (i + 1) /. 2.0)) in
+  close "ln" (lib.eval "ln") Float.log pos;
+  close "log2" (lib.eval "log2") Float.log2 pos;
+  close "log10" (lib.eval "log10") Float.log10 pos;
+  close "exp" (lib.eval "exp") Float.exp sym;
+  close "exp2" (lib.eval "exp2") Float.exp2 sym;
+  close "sinh" (lib.eval "sinh") Float.sinh sym;
+  close "cosh" (lib.eval "cosh") Float.cosh sym
+
+(* The F32 comparator is coarser than F64 but still within a few float32
+   ulps of the truth. *)
+let test_native_f32_coarse () =
+  let lib = Baselines.Native.make Baselines.Native.F32 ~trig_int:(Float.ldexp 1.0 23) in
+  let module T = Fp.Fp32 in
+  for _ = 1 to 500 do
+    let x = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 40 - 20) in
+    let x = T.to_double (T.of_double x) in
+    let got = T.of_double (lib.eval "exp" x) in
+    let want =
+      Oracle.Elementary.correctly_rounded ~round:T.round_rational E.exp (Q.of_float x)
+    in
+    let dist = Fp.Representation.ulp_distance (module T) got want in
+    if dist > 4 then Alcotest.failf "expf too far at %h: %d ulps" x dist
+  done
+
+(* Saturation semantics follow the implementation precision: the F64
+   comparator underflows to 0 where posits saturate to minpos —
+   Table 2's failure mode. *)
+let test_native_posit_underflow_mismatch () =
+  let lib = Baselines.Native.make Baselines.Native.F64 ~trig_int:(Float.ldexp 1.0 26) in
+  let module P = Posit.Posit32 in
+  (* Below double's own underflow point (~-745) but well inside posit32's
+     input range: the double library flushes to zero, posits saturate. *)
+  let x = -800.0 in
+  let double_result = lib.eval "exp" x in
+  Alcotest.(check (float 0.0)) "double underflows" 0.0 double_result;
+  Alcotest.(check int) "posit gets 0 not minpos" 0 (P.of_double double_result);
+  (* The correct posit32 answer is minpos. *)
+  let want =
+    Oracle.Elementary.correctly_rounded ~round:P.round_rational E.exp (Q.of_float x)
+  in
+  Alcotest.(check int) "oracle says minpos" 1 want
+
+(* ------------------------------------------------------------------ *)
+(* CR-LIBM analog.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* round_via_double equals round(round_double(f)) by construction; when
+   the double rounding lands on a float32 boundary it can differ from
+   direct rounding.  Construct such a case synthetically to prove the
+   mechanism, then check agreement elsewhere. *)
+let test_crlibm_double_rounding_mechanism () =
+  let module T = Fp.Fp32 in
+  (* v = float32 midpoint + tiny: rounds up directly, but the double
+     rounding first collapses tiny and then ties-to-even down. *)
+  let m = Q.add Q.one (Q.of_pow2 (-24)) in
+  (* midpoint between 1.0 and 1+2^-23 *)
+  let v = Q.add m (Q.of_pow2 (-80)) in
+  let direct = T.round_rational v in
+  let via_double = T.of_double (Q.to_float v) in
+  Alcotest.(check int) "direct rounds up" (T.of_double (1.0 +. Float.ldexp 1.0 (-23))) direct;
+  Alcotest.(check int) "via double ties down" (T.of_double 1.0) via_double;
+  Alcotest.(check bool) "they differ" true (direct <> via_double)
+
+let test_crlibm_agreement_generic () =
+  let module T = Fp.Fp32 in
+  let f = Baselines.Crlibm_analog.round_via_double (module T : Fp.Representation.S) E.exp in
+  for _ = 1 to 200 do
+    let x = Random.State.float st 10.0 -. 5.0 in
+    let pat = T.of_double x in
+    let got = f pat in
+    let want =
+      Oracle.Elementary.correctly_rounded ~round:T.round_rational E.exp (T.to_rational pat)
+    in
+    (* Double rounding failures are ~1-in-2^29 events; none expected in
+       200 random draws. *)
+    if got <> want then Alcotest.failf "unexpected double-rounding case at %h" x
+  done
+
+let test_timed_eval_runs () =
+  List.iter
+    (fun name ->
+      let f = Baselines.Crlibm_analog.timed_eval name in
+      let v = f 1.2345 in
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v))
+    [ "exp"; "exp2"; "ln"; "log2"; "sinh" ]
+
+(* Double_libm is the actual system libm. *)
+let test_double_libm_passthrough () =
+  let f = Baselines.Double_libm.eval (module Fp.Fp32 : Fp.Representation.S) "exp" in
+  let pat = Fp.Fp32.of_double 1.0 in
+  Alcotest.(check int) "exp 1" (Fp.Fp32.of_double (Float.exp 1.0)) (f pat);
+  let g = Baselines.Double_libm.eval (module Posit.Posit32 : Fp.Representation.S) "sinpi" in
+  let p = Posit.Posit32.of_double 0.5 in
+  Alcotest.(check int) "sinpi 0.5 via sin(pi x)" (Posit.Posit32.of_double 1.0) (g p)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "minimax",
+        [
+          Alcotest.test_case "exact solve" `Quick test_solve_exact;
+          Alcotest.test_case "interpolation error bands" `Quick test_interpolation_error;
+          Alcotest.test_case "remez exchange" `Quick test_remez;
+        ] );
+      ( "native",
+        [
+          Alcotest.test_case "F64 close to libm" `Quick test_native_f64_close_to_libm;
+          Alcotest.test_case "F32 coarse but sane" `Quick test_native_f32_coarse;
+          Alcotest.test_case "posit underflow mismatch" `Quick test_native_posit_underflow_mismatch;
+        ] );
+      ( "crlibm",
+        [
+          Alcotest.test_case "double rounding mechanism" `Quick test_crlibm_double_rounding_mechanism;
+          Alcotest.test_case "agreement elsewhere" `Quick test_crlibm_agreement_generic;
+          Alcotest.test_case "timed eval runs" `Quick test_timed_eval_runs;
+        ] );
+      ( "double-libm",
+        [ Alcotest.test_case "passthrough" `Quick test_double_libm_passthrough ] );
+    ]

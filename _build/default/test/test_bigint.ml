@@ -1,0 +1,126 @@
+(* Bigint: ring laws, division invariants, conversions. *)
+
+module B = Bigint
+open Test_util
+
+let st = rand 1
+
+let check = Alcotest.check bigint
+
+let test_small_arith () =
+  check "1+1" (B.of_int 2) (B.add B.one B.one);
+  check "2*3" (B.of_int 6) (B.mul B.two (B.of_int 3));
+  check "neg" (B.of_int (-5)) (B.neg (B.of_int 5));
+  check "sub" (B.of_int (-1)) (B.sub (B.of_int 4) (B.of_int 5));
+  Alcotest.(check int) "sign pos" 1 (B.sign (B.of_int 3));
+  Alcotest.(check int) "sign neg" (-1) (B.sign (B.of_int (-3)));
+  Alcotest.(check int) "sign zero" 0 (B.sign B.zero);
+  check "min_int roundtrip" (B.of_string (string_of_int min_int)) (B.of_int min_int)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789123456789123456789"; "-99999999999999999999999999999999" ]
+
+let test_divmod_basics () =
+  let q, r = B.divmod (B.of_int 17) (B.of_int 5) in
+  check "17/5 q" (B.of_int 3) q;
+  check "17%5 r" (B.of_int 2) r;
+  let q, r = B.divmod (B.of_int (-17)) (B.of_int 5) in
+  check "-17/5 q (trunc)" (B.of_int (-3)) q;
+  check "-17%5 r" (B.of_int (-2)) r;
+  let q, r = B.divmod (B.of_int 17) (B.of_int (-5)) in
+  check "17/-5 q" (B.of_int (-3)) q;
+  check "17%-5 r" (B.of_int 2) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero))
+
+let test_shifts () =
+  check "shl" (B.of_int 40) (B.shift_left (B.of_int 5) 3);
+  check "shr" (B.of_int 5) (B.shift_right (B.of_int 40) 3);
+  check "shr trunc neg" (B.of_int (-5)) (B.shift_right (B.of_int (-40)) 3);
+  check "shl big" (B.of_string "1267650600228229401496703205376") (B.shift_left B.one 100);
+  Alcotest.(check int) "bit_length 2^100" 101 (B.bit_length (B.shift_left B.one 100));
+  Alcotest.(check int) "bit_length 0" 0 (B.bit_length B.zero);
+  Alcotest.(check bool) "testbit" true (B.testbit (B.of_int 8) 3);
+  Alcotest.(check bool) "testbit off" false (B.testbit (B.of_int 8) 2);
+  Alcotest.(check int) "trailing zeros" 100 (B.trailing_zeros (B.shift_left B.one 100))
+
+let test_pow_gcd () =
+  check "3^7" (B.of_int 2187) (B.pow (B.of_int 3) 7);
+  check "x^0" B.one (B.pow (B.of_int 42) 0);
+  check "gcd" (B.of_int 6) (B.gcd (B.of_int 54) (B.of_int (-24)));
+  check "gcd zero" (B.of_int 7) (B.gcd B.zero (B.of_int 7));
+  check "gcd big"
+    (B.shift_left B.one 50)
+    (B.gcd (B.shift_left B.one 150) (B.shift_left (B.of_int 3) 50))
+
+let test_to_float () =
+  Alcotest.(check (float 0.0)) "small" 12345.0 (B.to_float (B.of_int 12345));
+  Alcotest.(check (float 0.0)) "2^100" (Float.ldexp 1.0 100) (B.to_float (B.shift_left B.one 100));
+  (* Round-to-even at 54 bits: 2^53 + 1 rounds to 2^53. *)
+  Alcotest.(check (float 0.0))
+    "2^53+1 RNE"
+    (Float.ldexp 1.0 53)
+    (B.to_float (B.add (B.shift_left B.one 53) B.one));
+  Alcotest.(check (float 0.0))
+    "2^53+3 RNE"
+    (Float.ldexp 1.0 53 +. 4.0)
+    (B.to_float (B.add (B.shift_left B.one 53) (B.of_int 3)))
+
+(* Property tests. *)
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod invariant" ~count:2000 QCheck.unit (fun () ->
+      let a = random_bigint st 180 and b = random_nonzero_bigint st 90 in
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+let prop_ring =
+  QCheck.Test.make ~name:"commutativity/associativity/distributivity" ~count:1000 QCheck.unit
+    (fun () ->
+      let a = random_bigint st 120 and b = random_bigint st 120 and c = random_bigint st 60 in
+      B.equal (B.add a b) (B.add b a)
+      && B.equal (B.mul a b) (B.mul b a)
+      && B.equal (B.mul (B.add a b) c) (B.add (B.mul a c) (B.mul b c))
+      && B.equal (B.sub a b) (B.neg (B.sub b a)))
+
+let prop_string =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:500 QCheck.unit (fun () ->
+      let a = random_bigint st 250 in
+      B.equal a (B.of_string (B.to_string a)))
+
+let prop_gcd =
+  QCheck.Test.make ~name:"gcd divides and is positive" ~count:500 QCheck.unit (fun () ->
+      let a = random_nonzero_bigint st 120 and b = random_nonzero_bigint st 120 in
+      let g = B.gcd a b in
+      B.sign g = 1 && B.is_zero (B.rem a g) && B.is_zero (B.rem b g))
+
+let prop_shift =
+  QCheck.Test.make ~name:"shift = mul/div by 2^k" ~count:500 QCheck.unit (fun () ->
+      let a = random_bigint st 150 in
+      let k = Random.State.int st 80 in
+      B.equal (B.shift_left a k) (B.mul a (B.pow B.two k))
+      && B.equal (B.shift_right a k) (B.div a (B.pow B.two k)))
+
+let prop_to_float_small =
+  QCheck.Test.make ~name:"to_float exact on 53-bit ints" ~count:2000 QCheck.unit (fun () ->
+      let n = Random.State.full_int st (1 lsl 30) * (1 + Random.State.int st 4096) in
+      let n = if Random.State.bool st then -n else n in
+      B.to_float (B.of_int n) = float_of_int n)
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "small arithmetic" `Quick test_small_arith;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "divmod basics" `Quick test_divmod_basics;
+          Alcotest.test_case "shifts and bits" `Quick test_shifts;
+          Alcotest.test_case "pow and gcd" `Quick test_pow_gcd;
+          Alcotest.test_case "to_float rounding" `Quick test_to_float;
+        ] );
+      qsuite "properties"
+        [ prop_divmod; prop_ring; prop_string; prop_gcd; prop_shift; prop_to_float_small ];
+    ]

@@ -1,0 +1,156 @@
+(* IEEE representations and double bit utilities. *)
+
+module Q = Rational
+module R = Fp.Representation
+open Test_util
+
+let st = rand 4
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive checks on the 16-bit formats.                            *)
+(* ------------------------------------------------------------------ *)
+
+let exhaustive_roundtrip (module T : R.S) () =
+  for p = 0 to 65535 do
+    match T.classify p with
+    | R.Finite ->
+        let d = T.to_double p in
+        if T.of_double d <> p then Alcotest.failf "roundtrip %04x -> %h -> %04x" p d (T.of_double d);
+        if Q.to_float (T.to_rational p) <> d then Alcotest.failf "rational mismatch %04x" p
+    | R.Inf _ | R.Nan -> ()
+  done
+
+(* Midpoints between adjacent values round to the even pattern; points
+   just off the midpoint round to the nearer value. *)
+let exhaustive_midpoints (module T : R.S) () =
+  let finite = ref [] in
+  for p = 65535 downto 0 do
+    match T.classify p with R.Finite -> finite := p :: !finite | _ -> ()
+  done;
+  let by_key = List.sort (fun a b -> compare (T.order_key a) (T.order_key b)) !finite in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        let va = T.to_double a and vb = T.to_double b in
+        if va < vb then begin
+          let mid = Q.mul_pow2 (Q.add (Q.of_float va) (Q.of_float vb)) (-1) in
+          let r = T.round_rational mid in
+          let expect = if a land 1 = 0 then a else b in
+          (* Skip the two zero patterns (+0/-0 share a value). *)
+          if va <> 0.0 && vb <> 0.0 && r <> expect then
+            Alcotest.failf "midpoint of %04x,%04x -> %04x (expect %04x)" a b r expect;
+          (* Just above the midpoint must round up to b. *)
+          let above = Q.add mid (Q.mul_pow2 (Q.sub (Q.of_float vb) (Q.of_float va)) (-30)) in
+          if va <> 0.0 && vb <> 0.0 && T.round_rational above <> b then
+            Alcotest.failf "above-midpoint of %04x,%04x" a b
+        end;
+        pairs rest
+    | _ -> ()
+  in
+  pairs by_key
+
+let test_order_key (module T : R.S) () =
+  (* order_key is monotone with the represented value. *)
+  let patterns = List.init 4000 (fun _ -> Random.State.int st 65536) in
+  let finite = List.filter (fun p -> T.classify p = R.Finite) patterns in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let va = T.to_double a and vb = T.to_double b in
+          if va < vb && T.order_key a >= T.order_key b then
+            Alcotest.failf "order_key not monotone: %04x %04x" a b)
+        (List.filteri (fun i _ -> i < 40) finite))
+    (List.filteri (fun i _ -> i < 40) finite)
+
+(* ------------------------------------------------------------------ *)
+(* float32: hardware vs exact rational rounding.                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fp32_hw_vs_exact =
+  QCheck.Test.make ~name:"of_double agrees with exact rational rounding" ~count:20000 QCheck.unit
+    (fun () ->
+      let x = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 340 - 190) in
+      Fp.Fp32.of_double x = Fp.Fp32.round_rational (Q.of_float x))
+
+let prop_fp32_roundtrip =
+  QCheck.Test.make ~name:"float32 pattern roundtrip" ~count:20000 QCheck.unit (fun () ->
+      let p = Random.State.full_int st (1 lsl 30) lor (Random.State.int st 4 lsl 30) in
+      match Fp.Fp32.classify p with
+      | R.Finite -> Fp.Fp32.of_double (Fp.Fp32.to_double p) = p
+      | R.Inf _ | R.Nan -> true)
+
+let test_fp32_extremes () =
+  let maxf = Fp.Fp32.to_double 0x7F7FFFFF in
+  Alcotest.(check (float 0.0)) "max finite" (Float.ldexp (2.0 -. Float.ldexp 1.0 (-23)) 127) maxf;
+  (* Just past the overflow boundary rounds to +inf. *)
+  let boundary = Q.mul (Q.of_float (Float.ldexp 1.0 127)) (Q.sub (Q.of_int 2) (Q.of_pow2 (-24))) in
+  Alcotest.(check int) "boundary to inf" 0x7F800000 (Fp.Fp32.round_rational boundary);
+  Alcotest.(check int)
+    "below boundary to max"
+    0x7F7FFFFF
+    (Fp.Fp32.round_rational (Q.sub boundary (Q.of_pow2 60)));
+  (* Smallest subnormal. *)
+  Alcotest.(check int) "minsub up" 1 (Fp.Fp32.round_rational (Q.of_pow2 (-150) |> Q.add (Q.of_pow2 (-160))));
+  Alcotest.(check int) "half minsub ties to 0" 0 (Fp.Fp32.round_rational (Q.of_pow2 (-150)));
+  Alcotest.(check int) "neg zero" 0 (Fp.Fp32.round_rational Q.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Fp64 bit utilities.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fp64_next () =
+  Alcotest.(check (float 0.0)) "next_up 0" (Float.ldexp 1.0 (-1074)) (Fp.Fp64.next_up 0.0);
+  Alcotest.(check (float 0.0)) "next_down 0" (-.Float.ldexp 1.0 (-1074)) (Fp.Fp64.next_down 0.0);
+  Alcotest.(check (float 0.0)) "next_up max" infinity (Fp.Fp64.next_up Float.max_float);
+  Alcotest.(check bool) "next_up 1 > 1" true (Fp.Fp64.next_up 1.0 > 1.0);
+  Alcotest.(check (float 0.0)) "inverse" 1.0 (Fp.Fp64.next_down (Fp.Fp64.next_up 1.0));
+  Alcotest.(check (float 0.0)) "neg next_up toward 0" (-0.99999999999999989) (Fp.Fp64.next_up (-1.0))
+
+let prop_fp64_advance_steps =
+  QCheck.Test.make ~name:"advance/steps inverse" ~count:5000 QCheck.unit (fun () ->
+      let x = random_double ~max_exp:500 st in
+      let k = Random.State.int st 2000 - 1000 in
+      let y = Fp.Fp64.advance x k in
+      (not (Float.is_finite y)) || Fp.Fp64.steps x y = Int64.of_int k)
+
+let prop_fp64_key_monotone =
+  QCheck.Test.make ~name:"key monotone" ~count:5000 QCheck.unit (fun () ->
+      let a = random_double ~max_exp:500 st and b = random_double ~max_exp:500 st in
+      if a < b then Int64.compare (Fp.Fp64.key a) (Fp.Fp64.key b) < 0
+      else if a > b then Int64.compare (Fp.Fp64.key a) (Fp.Fp64.key b) > 0
+      else true)
+
+let test_fp64_saturation () =
+  (* Far advances clamp at the infinities instead of wrapping. *)
+  Alcotest.(check (float 0.0)) "huge up" infinity (Fp.Fp64.advance Float.max_float (1 lsl 61));
+  Alcotest.(check (float 0.0))
+    "huge down"
+    neg_infinity
+    (Fp.Fp64.advance (-.Float.max_float) (-(1 lsl 61)))
+
+let () =
+  Alcotest.run "fp"
+    [
+      ( "bfloat16",
+        [
+          Alcotest.test_case "exhaustive roundtrip" `Quick (exhaustive_roundtrip (module Fp.Bfloat16));
+          Alcotest.test_case "exhaustive midpoints" `Quick (exhaustive_midpoints (module Fp.Bfloat16));
+          Alcotest.test_case "order key" `Quick (test_order_key (module Fp.Bfloat16));
+        ] );
+      ( "float16",
+        [
+          Alcotest.test_case "exhaustive roundtrip" `Quick (exhaustive_roundtrip (module Fp.Float16));
+          Alcotest.test_case "exhaustive midpoints" `Quick (exhaustive_midpoints (module Fp.Float16));
+        ] );
+      ( "float32",
+        [
+          Alcotest.test_case "extremes" `Quick test_fp32_extremes;
+        ] );
+      qsuite "float32-properties" [ prop_fp32_hw_vs_exact; prop_fp32_roundtrip ];
+      ( "fp64",
+        [
+          Alcotest.test_case "next_up/down" `Quick test_fp64_next;
+          Alcotest.test_case "saturation" `Quick test_fp64_saturation;
+        ] );
+      qsuite "fp64-properties" [ prop_fp64_advance_steps; prop_fp64_key_monotone ];
+    ]

@@ -1,0 +1,132 @@
+(* End-to-end integration: a miniature Table 1 on bfloat16, exhaustively.
+
+   The full-scale float32/posit32 version lives in bin/check.ml; this
+   test pins the *shape* the paper reports where we can afford exhaustive
+   ground truth: the RLIBM function is correct on every input, the
+   straightforward float implementation misrounds some inputs, and the
+   double-precision comparators misround at most a handful. *)
+
+module Q = Rational
+module R = Fp.Representation
+open Test_util
+
+type counts = { rlibm : int; native32 : int; native64 : int; libm64 : int; crlibm : int }
+
+let count_wrong name =
+  let target = Funcs.Specs.bfloat16 in
+  let module T = Fp.Bfloat16 in
+  let g = Funcs.Libm.get target name in
+  let native32 = Baselines.Native.eval_pattern Baselines.Native.F32 target name in
+  let native64 = Baselines.Native.eval_pattern Baselines.Native.F64 target name in
+  let libm64 = Baselines.Double_libm.eval (module T : R.S) name in
+  let spec = g.Rlibm.Generator.spec in
+  let c = ref { rlibm = 0; native32 = 0; native64 = 0; libm64 = 0; crlibm = 0 } in
+  for pat = 0 to 65535 do
+    (* Ground truth: our special-case analysis (validated in test_funcs)
+       for the special regions, the oracle elsewhere. *)
+    let want =
+      match spec.special pat with
+      | Some y -> Some y
+      | None ->
+          Some
+            (Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
+               (T.to_rational pat))
+    in
+    match want with
+    | None -> ()
+    | Some want ->
+        let crlibm =
+          match spec.special pat with
+          | Some y -> y (* CR-LIBM handles specials correctly too *)
+          | None -> Baselines.Crlibm_analog.round_via_double (module T : R.S) spec.oracle pat
+        in
+        let tally get field =
+          if not (pattern_value_equal (module T) (get pat) want) then field ()
+        in
+        tally (Rlibm.Generator.eval_pattern g) (fun () -> c := { !c with rlibm = !c.rlibm + 1 });
+        tally native32 (fun () -> c := { !c with native32 = !c.native32 + 1 });
+        tally native64 (fun () -> c := { !c with native64 = !c.native64 + 1 });
+        tally libm64 (fun () -> c := { !c with libm64 = !c.libm64 + 1 });
+        if not (pattern_value_equal (module T) crlibm want) then
+          c := { !c with crlibm = !c.crlibm + 1 }
+  done;
+  !c
+
+let table1_shape name () =
+  let c = count_wrong name in
+  (* The paper's Table 1 shape: RLIBM correct everywhere; the float
+     implementation visibly wrong; double implementations close. *)
+  Alcotest.(check int) (name ^ ": rlibm wrong count") 0 c.rlibm;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: float-native (%d) wrong more than double-native (%d)" name c.native32
+       c.native64)
+    true
+    (c.native32 >= c.native64);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: double-native nearly correct (%d)" name c.native64)
+    true (c.native64 <= 300);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: crlibm analog nearly correct (%d)" name c.crlibm)
+    true (c.crlibm <= 16);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: system libm nearly correct (%d)" name c.libm64)
+    true (c.libm64 <= 300)
+
+(* posit16, exhaustive: RLIBM correct on all inputs; the repurposed
+   double libm fails in the saturation regions (Table 2's shape). *)
+let table2_shape name () =
+  let target = Funcs.Specs.posit16 in
+  let module P = Posit.Posit16 in
+  let g = Funcs.Libm.get target name in
+  let libm64 = Baselines.Double_libm.eval (module P : R.S) name in
+  let spec = g.Rlibm.Generator.spec in
+  let rl = ref 0 and lm = ref 0 in
+  for pat = 0 to 65535 do
+    let want =
+      match spec.special pat with
+      | Some y -> y
+      | None ->
+          Oracle.Elementary.correctly_rounded ~round:P.round_rational spec.oracle
+            (P.to_rational pat)
+    in
+    if not (pattern_value_equal (module P) (Rlibm.Generator.eval_pattern g pat) want) then incr rl;
+    if not (pattern_value_equal (module P) (libm64 pat) want) then incr lm
+  done;
+  Alcotest.(check int) (name ^ ": rlibm wrong") 0 !rl;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: repurposed double libm wrong on many (%d)" name !lm)
+    true (!lm > 100)
+
+(* Cross-representation agreement: the float32 and bfloat16 generated
+   functions agree wherever bfloat16 embeds into float32. *)
+let cross_repr_consistency () =
+  let g32 = Funcs.Libm.get ~quality:Funcs.Libm.Quick Funcs.Specs.float32 "log2" in
+  let g16 = Funcs.Libm.get Funcs.Specs.bfloat16 "log2" in
+  for pat = 0 to 65535 do
+    if pat mod 13 = 0 && Fp.Bfloat16.classify pat = R.Finite then begin
+      let x = Fp.Bfloat16.to_double pat in
+      if x > 0.0 then begin
+        let y32 = Fp.Fp32.to_double (Rlibm.Generator.eval_pattern g32 (Fp.Fp32.of_double x)) in
+        let y16 = Fp.Bfloat16.to_double (Rlibm.Generator.eval_pattern g16 pat) in
+        (* bfloat16(y32) must equal y16 except on double-rounding
+           boundaries, which correct rounding of both rules out unless
+           y32 sits exactly on a bfloat16 midpoint. *)
+        let via = Fp.Bfloat16.to_double (Fp.Bfloat16.of_double y32) in
+        if Float.abs (via -. y16) > Float.abs (y16 *. 0.004) then
+          Alcotest.failf "inconsistent at %h: %h vs %h" x via y16
+      end
+    end
+  done
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "table1-bfloat16",
+        [
+          Alcotest.test_case "exp2 shape" `Slow (table1_shape "exp2");
+          Alcotest.test_case "log2 shape" `Slow (table1_shape "log2");
+        ] );
+      ("table2-posit16", [ Alcotest.test_case "exp shape" `Slow (table2_shape "exp") ]);
+      ( "cross-representation",
+        [ Alcotest.test_case "float32 vs bfloat16 log2" `Slow cross_repr_consistency ] );
+    ]

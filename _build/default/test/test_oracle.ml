@@ -1,0 +1,265 @@
+(* Oracle: Bigfloat arithmetic against exact rationals; elementary
+   functions against the system libm (double, <= 1 ulp apart) and
+   against their mathematical identities; Ziv loop behavior. *)
+
+module F = Oracle.Bigfloat
+module E = Oracle.Elementary
+module Q = Rational
+open Test_util
+
+let st = rand 3
+
+(* ------------------------------------------------------------------ *)
+(* Bigfloat.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigfloat_exact_ops () =
+  let a = F.of_float 1.5 and b = F.of_float 0.25 in
+  Alcotest.check rational "add" (Q.of_float 1.75) (F.to_rational (F.add ~prec:60 a b));
+  Alcotest.check rational "sub" (Q.of_float 1.25) (F.to_rational (F.sub ~prec:60 a b));
+  Alcotest.check rational "mul" (Q.of_float 0.375) (F.to_rational (F.mul ~prec:60 a b));
+  Alcotest.check rational "div" (Q.of_float 6.0) (F.to_rational (F.div ~prec:60 a b));
+  Alcotest.check rational "mul_pow2" (Q.of_float 3.0) (F.to_rational (F.mul_pow2 a 1));
+  Alcotest.(check int) "ilog2" 0 (F.ilog2 a);
+  Alcotest.(check int) "ilog2 small" (-2) (F.ilog2 b);
+  Alcotest.(check (float 0.0)) "to_float" 1.5 (F.to_float a)
+
+let test_bigfloat_rounding () =
+  (* 1/3 at prec 10: round-to-nearest of the binary expansion. *)
+  let third = F.of_rational ~prec:10 (Q.of_ints 1 3) in
+  let err = Q.abs (Q.sub (F.to_rational third) (Q.of_ints 1 3)) in
+  Alcotest.(check bool) "|1/3 - fl(1/3)| <= 2^-11" true (Q.compare err (Q.of_pow2 (-11)) <= 0);
+  (* of_dyadic is exact; non-dyadic raises. *)
+  Alcotest.check rational "of_dyadic" (Q.of_ints 3 8) (F.to_rational (F.of_dyadic (Q.of_ints 3 8)));
+  Alcotest.check_raises "non-dyadic" (Invalid_argument "Bigfloat.of_dyadic: not dyadic") (fun () ->
+      ignore (F.of_dyadic (Q.of_ints 1 3)))
+
+let prop_bigfloat_ops_error =
+  QCheck.Test.make ~name:"rounded ops within relative 2^(1-prec)" ~count:800 QCheck.unit
+    (fun () ->
+      let prec = 50 + Random.State.int st 80 in
+      let a = random_rational st 60 and b = random_rational st 60 in
+      let fa = F.of_rational ~prec:200 a and fb = F.of_rational ~prec:200 b in
+      let check_op exact approx =
+        Q.is_zero exact
+        ||
+        let err = Q.abs (Q.div (Q.sub (F.to_rational approx) exact) exact) in
+        Q.compare err (Q.of_pow2 (4 - prec)) <= 0
+      in
+      check_op (Q.add a b) (F.add ~prec fa fb)
+      && check_op (Q.mul a b) (F.mul ~prec fa fb)
+      && (Q.is_zero b || check_op (Q.div a b) (F.div ~prec fa fb)))
+
+let prop_bigfloat_compare =
+  QCheck.Test.make ~name:"compare agrees with rationals" ~count:1000 QCheck.unit (fun () ->
+      let a = random_rational st 50 and b = random_rational st 50 in
+      let fa = F.of_rational ~prec:120 a and fb = F.of_rational ~prec:120 b in
+      (* 120-bit roundings preserve the order of 50-bit-ish rationals
+         unless they are equal. *)
+      if Q.equal a b then F.compare fa fb = 0
+      else compare (Q.compare a b) 0 = compare (F.compare fa fb) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Elementary functions vs glibc (double).                             *)
+(* ------------------------------------------------------------------ *)
+
+let against_libm name f g points () =
+  List.iter
+    (fun x ->
+      let ours = E.to_double f (Q.of_float x) in
+      let libm = g x in
+      if ulps ours libm > 1L then
+        Alcotest.failf "%s(%.17g): oracle %.17g vs libm %.17g" name x ours libm)
+    points
+
+let logspace lo hi n =
+  List.init n (fun i ->
+      let t = float_of_int i /. float_of_int (n - 1) in
+      lo *. Float.pow (hi /. lo) t)
+
+let points_pos = logspace 1e-35 1e35 120 @ logspace 0.9 1.1 60
+let points_sym = List.concat_map (fun x -> [ x; -.x ]) (logspace 1e-6 80.0 60)
+
+let test_constants () =
+  Alcotest.(check (float 0.0)) "pi" Float.pi (F.to_float (E.pi ~prec:100));
+  Alcotest.(check (float 0.0)) "ln2" (Float.log 2.0) (F.to_float (E.ln2 ~prec:100));
+  Alcotest.(check (float 0.0)) "ln10" (Float.log 10.0) (F.to_float (E.ln10 ~prec:100));
+  (* Constants are consistent across precisions. *)
+  let a = F.to_rational (E.pi ~prec:60) and b = F.to_rational (E.pi ~prec:300) in
+  Alcotest.(check bool)
+    "pi precisions agree"
+    true
+    (Q.compare (Q.abs (Q.sub a b)) (Q.of_pow2 (-55)) < 0)
+
+let test_exact_cases () =
+  Alcotest.(check (float 0.0)) "exp 0" 1.0 (E.to_double E.exp Q.zero);
+  Alcotest.(check (float 0.0)) "ln 1" 0.0 (E.to_double E.ln Q.one);
+  Alcotest.(check (float 0.0)) "log2 2^37" 37.0 (E.to_double E.log2 (Q.of_pow2 37));
+  Alcotest.(check (float 0.0)) "log2 2^-5" (-5.0) (E.to_double E.log2 (Q.of_pow2 (-5)));
+  Alcotest.(check (float 0.0)) "log10 1000" 3.0 (E.to_double E.log10 (Q.of_int 1000));
+  Alcotest.(check (float 0.0)) "log10 1/100" (-2.0) (E.to_double E.log10 (Q.of_ints 1 100));
+  Alcotest.(check (float 0.0)) "exp2 12" 4096.0 (E.to_double E.exp2 (Q.of_int 12));
+  Alcotest.(check (float 0.0)) "exp10 -2" 0.01 (E.to_double E.exp10 (Q.of_int (-2)));
+  Alcotest.(check (float 0.0)) "sinpi 7" 0.0 (E.to_double E.sinpi (Q.of_int 7));
+  Alcotest.(check (float 0.0)) "sinpi 5/2" 1.0 (E.to_double E.sinpi (Q.of_ints 5 2));
+  Alcotest.(check (float 0.0)) "sinpi -1/2" (-1.0) (E.to_double E.sinpi (Q.of_ints (-1) 2));
+  Alcotest.(check (float 0.0)) "cospi 3" (-1.0) (E.to_double E.cospi (Q.of_int 3));
+  Alcotest.(check (float 0.0)) "cospi 1/2" 0.0 (E.to_double E.cospi Q.half);
+  Alcotest.(check (float 0.0)) "sinh 0" 0.0 (E.to_double E.sinh Q.zero);
+  Alcotest.(check (float 0.0)) "cosh 0" 1.0 (E.to_double E.cosh Q.zero);
+  Alcotest.(check (float 0.0)) "tanh 0" 0.0 (E.to_double E.tanh Q.zero);
+  Alcotest.(check (float 0.0)) "expm1 0" 0.0 (E.to_double E.expm1 Q.zero);
+  Alcotest.(check (float 0.0)) "log1p 0" 0.0 (E.to_double E.log1p Q.zero)
+
+let test_domain_errors () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises
+        (name ^ " of -1")
+        (Invalid_argument ("Elementary." ^ name ^ ": nonpositive argument"))
+        (fun () -> ignore (E.to_double f (Q.of_int (-1)))))
+    [ ("ln", E.ln); ("log2", E.log2); ("log10", E.log10) ]
+
+(* Identities evaluated at rational points, checked to ~1 double ulp. *)
+let test_identities () =
+  let pts = List.init 40 (fun i -> Q.of_ints ((7 * i) + 3) 17) in
+  List.iter
+    (fun q ->
+      (* exp(q) * exp(-q) = 1 *)
+      let e = E.to_double E.exp q and e' = E.to_double E.exp (Q.neg q) in
+      Alcotest.(check bool) "exp(x)exp(-x)~1" true (Float.abs ((e *. e') -. 1.0) < 1e-13);
+      (* cosh^2 - sinh^2 = 1 (for moderate q) *)
+      if Q.compare q (Q.of_int 5) < 0 then begin
+        let c = E.to_double E.cosh q and s = E.to_double E.sinh q in
+        Alcotest.(check bool) "cosh2-sinh2~1" true (Float.abs ((c *. c) -. (s *. s) -. 1.0) < 1e-10)
+      end;
+      (* log2(x) = ln(x)/ln(2) *)
+      let l2 = E.to_double E.log2 q and ln = E.to_double E.ln q in
+      Alcotest.(check bool) "log2 vs ln" true (Float.abs (l2 -. (ln /. Float.log 2.0)) < 1e-13))
+    pts
+
+(* sinpi/cospi Pythagorean identity on reduced-domain points. *)
+let test_sincospi_identity () =
+  for i = 1 to 60 do
+    let q = Q.of_ints i 1024 in
+    let s = E.to_double E.sinpi q and c = E.to_double E.cospi q in
+    Alcotest.(check bool) "s^2+c^2~1" true (Float.abs ((s *. s) +. (c *. c) -. 1.0) < 1e-14)
+  done
+
+(* The _1p reduced oracles agree with the full logs at 1+r. *)
+let test_log1p_consistency () =
+  for i = 1 to 50 do
+    let r = Q.of_ints i 12800 in
+    let a = E.to_double E.ln_1p r and b = E.to_double E.ln (Q.add Q.one r) in
+    Alcotest.(check bool) "ln_1p" true (ulps a b <= 1L);
+    let a = E.to_double E.log2_1p r and b = E.to_double E.log2 (Q.add Q.one r) in
+    Alcotest.(check bool) "log2_1p" true (ulps a b <= 1L);
+    let a = E.to_double E.log10_1p r and b = E.to_double E.log10 (Q.add Q.one r) in
+    Alcotest.(check bool) "log10_1p" true (ulps a b <= 1L)
+  done
+
+(* Ziv loop: rounding to a coarse representation converges and matches
+   rounding the high-precision result directly. *)
+let test_ziv_coarse_rounding () =
+  let round q = Fp.Bfloat16.round_rational q in
+  for i = 1 to 100 do
+    let x = Q.of_ints ((13 * i) + 1) 64 in
+    let via_ziv = E.correctly_rounded ~round E.exp x in
+    let direct = round (Q.of_float (E.to_double E.exp x)) in
+    (* The double is itself correctly rounded; bfloat16 is so much
+       coarser that double rounding is immaterial except on exact
+       boundary cases, which these points avoid. *)
+    Alcotest.(check int) "ziv vs coarse" direct via_ziv
+  done
+
+(* Ziv results are precision-stable: the correctly rounded double is the
+   same whether the loop starts low or high. *)
+let prop_ziv_stable =
+  QCheck.Test.make ~name:"ziv stable across starting precisions" ~count:150 QCheck.unit
+    (fun () ->
+      let x = Q.of_float (Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 24 - 12)) in
+      if Q.is_zero x then true
+      else begin
+        let a = E.correctly_rounded ~init_prec:60 ~round:Q.to_float E.exp x in
+        let b = E.correctly_rounded ~init_prec:240 ~round:Q.to_float E.exp x in
+        a = b
+      end)
+
+(* exp2/exp10 are exactly rational at integers. *)
+let prop_exp_integer_exact =
+  QCheck.Test.make ~name:"exp2/exp10 exact at integers" ~count:200 QCheck.unit (fun () ->
+      let n = Random.State.int st 60 - 30 in
+      (match E.exp2 ~prec:80 (Q.of_int n) with
+      | E.Exact q -> Q.equal q (Q.of_pow2 n)
+      | E.Approx _ -> false)
+      &&
+      match E.exp10 ~prec:80 (Q.of_int n) with
+      | E.Exact _ -> true
+      | E.Approx _ -> false)
+
+(* Periodicity: sinpi(x + 2) = sinpi(x) at rational points, exactly at
+   the correctly-rounded-double level. *)
+let prop_sinpi_periodic =
+  QCheck.Test.make ~name:"sinpi periodicity" ~count:150 QCheck.unit (fun () ->
+      let x = Q.of_ints (Random.State.int st 4001 - 2000) 1024 in
+      E.to_double E.sinpi x = E.to_double E.sinpi (Q.add x (Q.of_int 2))
+      && E.to_double E.cospi x = E.to_double E.cospi (Q.sub x (Q.of_int 2)))
+
+(* Monotonicity of the correctly rounded doubles on a grid (exp strictly
+   increasing, ln strictly increasing). *)
+let prop_monotone =
+  QCheck.Test.make ~name:"rounded exp/ln monotone" ~count:200 QCheck.unit (fun () ->
+      let a = Random.State.float st 10.0 and d = Random.State.float st 1.0 +. 1e-6 in
+      E.to_double E.exp (Q.of_float a) <= E.to_double E.exp (Q.of_float (a +. d))
+      && E.to_double E.ln (Q.of_float (a +. 0.5)) <= E.to_double E.ln (Q.of_float (a +. 0.5 +. d)))
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "bigfloat",
+        [
+          Alcotest.test_case "exact ops" `Quick test_bigfloat_exact_ops;
+          Alcotest.test_case "rounding" `Quick test_bigfloat_rounding;
+        ] );
+      qsuite "bigfloat-properties" [ prop_bigfloat_ops_error; prop_bigfloat_compare ];
+      qsuite "oracle-properties"
+        [ prop_ziv_stable; prop_exp_integer_exact; prop_sinpi_periodic; prop_monotone ];
+      ( "vs-libm",
+        [
+          Alcotest.test_case "ln" `Quick (against_libm "ln" E.ln Float.log points_pos);
+          Alcotest.test_case "log2" `Quick (against_libm "log2" E.log2 Float.log2 points_pos);
+          Alcotest.test_case "log10" `Quick (against_libm "log10" E.log10 Float.log10 points_pos);
+          Alcotest.test_case "exp" `Quick (against_libm "exp" E.exp Float.exp points_sym);
+          Alcotest.test_case "exp2" `Quick (against_libm "exp2" E.exp2 Float.exp2 points_sym);
+          Alcotest.test_case "exp10" `Quick
+            (against_libm "exp10" E.exp10 (fun x -> Float.pow 10.0 x)
+               (List.filter (fun x -> Float.abs x < 35.0) points_sym));
+          Alcotest.test_case "sinh" `Quick (against_libm "sinh" E.sinh Float.sinh points_sym);
+          Alcotest.test_case "cosh" `Quick (against_libm "cosh" E.cosh Float.cosh points_sym);
+          Alcotest.test_case "sinpi" `Quick
+            (against_libm "sinpi" E.sinpi
+               (fun x -> Float.sin (Float.pi *. x))
+               (logspace 1e-4 0.49 40));
+          Alcotest.test_case "cospi" `Quick
+            (against_libm "cospi" E.cospi
+               (fun x -> Float.cos (Float.pi *. x))
+               (logspace 1e-4 0.24 30));
+          Alcotest.test_case "tanh" `Quick
+            (against_libm "tanh" E.tanh Float.tanh (List.filter (fun x -> Float.abs x < 18.0) points_sym));
+          Alcotest.test_case "expm1" `Quick
+            (against_libm "expm1" E.expm1 Float.expm1 points_sym);
+          Alcotest.test_case "log1p" `Quick
+            (against_libm "log1p" E.log1p Float.log1p
+               (List.filter (fun x -> x > -0.99) points_sym @ logspace 1e-9 1e9 40));
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "exact cases" `Quick test_exact_cases;
+          Alcotest.test_case "domain errors" `Quick test_domain_errors;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "sincospi identity" `Quick test_sincospi_identity;
+          Alcotest.test_case "log1p consistency" `Quick test_log1p_consistency;
+          Alcotest.test_case "ziv coarse rounding" `Quick test_ziv_coarse_rounding;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Posit codec: exhaustive posit16, randomized posit32, saturation and
+   tie behavior per the posit standard. *)
+
+module Q = Rational
+module R = Fp.Representation
+module P16 = Posit.Posit16
+module P32 = Posit.Posit32
+open Test_util
+
+let st = rand 5
+
+let test_p16_exhaustive () =
+  for pat = 0 to 65535 do
+    match P16.classify pat with
+    | R.Nan -> Alcotest.(check int) "only NaR" 0x8000 pat
+    | R.Inf _ -> Alcotest.fail "posits have no infinities"
+    | R.Finite ->
+        let d = P16.to_double pat in
+        if P16.of_double d <> pat then Alcotest.failf "roundtrip %04x" pat;
+        if pat <> 0 then begin
+          let q = P16.to_rational pat in
+          if Q.to_float q <> d then Alcotest.failf "rational %04x" pat;
+          if P16.round_rational q <> pat then Alcotest.failf "round_rational %04x" pat
+        end
+  done
+
+let test_p16_ties_to_even_pattern () =
+  (* For every adjacent positive pair, the value midpoint rounds to the
+     even pattern. *)
+  let prev = ref None in
+  for pat = 1 to 0x7FFE do
+    (match !prev with
+    | Some (p0, q0) ->
+        let q1 = P16.to_rational pat in
+        let mid = Q.mul_pow2 (Q.add q0 q1) (-1) in
+        let expect = if p0 land 1 = 0 then p0 else pat in
+        if P16.round_rational mid <> expect then Alcotest.failf "tie %04x/%04x" p0 pat
+    | None -> ());
+    prev := Some (pat, P16.to_rational pat)
+  done
+
+let test_p16_known_values () =
+  Alcotest.(check int) "1.0" 0x4000 (P16.of_double 1.0);
+  Alcotest.(check int) "-1.0" 0xC000 (P16.of_double (-1.0));
+  Alcotest.(check int) "2.0" 0x5000 (P16.of_double 2.0);
+  Alcotest.(check int) "0.5" 0x3000 (P16.of_double 0.5);
+  Alcotest.(check (float 0.0)) "maxpos" (Float.ldexp 1.0 28) (P16.to_double 0x7FFF);
+  Alcotest.(check (float 0.0)) "minpos" (Float.ldexp 1.0 (-28)) (P16.to_double 0x0001)
+
+let test_p32_known_values () =
+  Alcotest.(check int) "1.0" 0x40000000 (P32.of_double 1.0);
+  Alcotest.(check int) "4.0" 0x50000000 (P32.of_double 4.0);
+  Alcotest.(check (float 0.0)) "maxpos" (Float.ldexp 1.0 120) (P32.to_double 0x7FFFFFFF);
+  Alcotest.(check (float 0.0)) "minpos" (Float.ldexp 1.0 (-120)) (P32.to_double 1);
+  (* Near 1, posit32 has 27 fraction bits: ulp = 2^-27. *)
+  Alcotest.(check (float 0.0)) "1+ulp" (1.0 +. Float.ldexp 1.0 (-27)) (P32.to_double 0x40000001)
+
+let test_p32_saturation () =
+  Alcotest.(check int) "overflow" 0x7FFFFFFF (P32.of_double 1e40);
+  Alcotest.(check int) "neg overflow" 0x80000001 (P32.of_double (-1e40));
+  Alcotest.(check int) "underflow to minpos" 1 (P32.of_double 1e-200);
+  Alcotest.(check int) "neg underflow" 0xFFFFFFFF (P32.of_double (-1e-200));
+  Alcotest.(check int) "inf is NaR" 0x80000000 (P32.of_double infinity);
+  Alcotest.(check int) "nan is NaR" 0x80000000 (P32.of_double Float.nan);
+  (* Exactly half of minpos still rounds to minpos (never to zero). *)
+  Alcotest.(check int) "half minpos" 1 (P32.round_rational (Q.of_pow2 (-121)));
+  Alcotest.(check int) "tiny" 1 (P32.round_rational (Q.of_pow2 (-4000)))
+
+let prop_p32_roundtrip =
+  QCheck.Test.make ~name:"posit32 roundtrip" ~count:30000 QCheck.unit (fun () ->
+      let pat = Random.State.full_int st (1 lsl 30) lor (Random.State.int st 4 lsl 30) in
+      match P32.classify pat with
+      | R.Finite -> P32.of_double (P32.to_double pat) = pat
+      | R.Nan -> true
+      | R.Inf _ -> false)
+
+let prop_p32_of_double_exact =
+  QCheck.Test.make ~name:"of_double = round_rational" ~count:10000 QCheck.unit (fun () ->
+      let x = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 300 - 150) in
+      P32.of_double x = P32.round_rational (Q.of_float x))
+
+let prop_p32_monotone =
+  QCheck.Test.make ~name:"rounding is monotone" ~count:5000 QCheck.unit (fun () ->
+      let x = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 280 - 140) in
+      let y = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 280 - 140) in
+      let a = P32.of_double x and b = P32.of_double y in
+      if x <= y then P32.order_key a <= P32.order_key b else P32.order_key a >= P32.order_key b)
+
+let prop_p16_vs_p32_precision =
+  QCheck.Test.make ~name:"posit32 refines posit16" ~count:3000 QCheck.unit (fun () ->
+      (* Rounding error of posit32 never exceeds posit16's on |x| in a
+         shared regime range. *)
+      let x = Float.ldexp (Random.State.float st 2.0 -. 1.0) (Random.State.int st 40 - 20) in
+      if x = 0.0 then true
+      else begin
+        let e16 = Float.abs (P16.to_double (P16.of_double x) -. x) in
+        let e32 = Float.abs (P32.to_double (P32.of_double x) -. x) in
+        e32 <= e16
+      end)
+
+(* posit<8,0>: brutal exhaustive codec check — every pattern, every
+   adjacent-pair midpoint. *)
+let test_p8_exhaustive () =
+  let module P8 = Posit.Posit8 in
+  for pat = 0 to 255 do
+    match P8.classify pat with
+    | R.Nan -> Alcotest.(check int) "only NaR" 0x80 pat
+    | R.Inf _ -> Alcotest.fail "posits have no infinities"
+    | R.Finite ->
+        let d = P8.to_double pat in
+        if P8.of_double d <> pat then Alcotest.failf "roundtrip %02x" pat;
+        if pat <> 0 && P8.round_rational (P8.to_rational pat) <> pat then
+          Alcotest.failf "round_rational %02x" pat
+  done;
+  Alcotest.(check (float 0.0)) "maxpos = 64" 64.0 (P8.to_double 0x7F);
+  Alcotest.(check (float 0.0)) "minpos = 1/64" (1.0 /. 64.0) (P8.to_double 0x01);
+  (* tie-to-even-pattern across all adjacent positive pairs *)
+  let prev = ref None in
+  for pat = 1 to 0x7E do
+    (match !prev with
+    | Some (p0, q0) ->
+        let q1 = P8.to_rational pat in
+        let mid = Q.mul_pow2 (Q.add q0 q1) (-1) in
+        let expect = if p0 land 1 = 0 then p0 else pat in
+        if P8.round_rational mid <> expect then Alcotest.failf "tie %02x/%02x" p0 pat
+    | None -> ());
+    prev := Some (pat, P8.to_rational pat)
+  done
+
+(* Exhaustive: posit16 order_key sorts patterns exactly by value. *)
+let test_p16_order_exhaustive () =
+  let finite = ref [] in
+  for pat = 65535 downto 0 do
+    if P16.classify pat = R.Finite then finite := pat :: !finite
+  done;
+  let by_key = List.sort (fun a b -> compare (P16.order_key a) (P16.order_key b)) !finite in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        if not (P16.to_double a < P16.to_double b || (P16.to_double a = 0.0 && P16.to_double b = 0.0))
+        then Alcotest.failf "order violated: %04x %04x" a b;
+        walk rest
+    | _ -> ()
+  in
+  walk by_key
+
+let () =
+  Alcotest.run "posit"
+    [
+      ( "posit8", [ Alcotest.test_case "exhaustive" `Quick test_p8_exhaustive ] );
+      ( "posit16",
+        [
+          Alcotest.test_case "exhaustive" `Quick test_p16_exhaustive;
+          Alcotest.test_case "order key exhaustive" `Quick test_p16_order_exhaustive;
+          Alcotest.test_case "ties to even pattern" `Quick test_p16_ties_to_even_pattern;
+          Alcotest.test_case "known values" `Quick test_p16_known_values;
+        ] );
+      ( "posit32",
+        [
+          Alcotest.test_case "known values" `Quick test_p32_known_values;
+          Alcotest.test_case "saturation" `Quick test_p32_saturation;
+        ] );
+      qsuite "properties"
+        [ prop_p32_roundtrip; prop_p32_of_double_exact; prop_p32_monotone; prop_p16_vs_p32_precision ];
+    ]

@@ -1,0 +1,114 @@
+(* Rational: field laws, normalization, correctly rounded to_float. *)
+
+module Q = Rational
+module B = Bigint
+open Test_util
+
+let st = rand 2
+let check = Alcotest.check rational
+
+let test_basics () =
+  check "1/2+1/3" (Q.of_ints 5 6) (Q.add Q.half (Q.of_ints 1 3));
+  check "normalize" (Q.of_ints 2 3) (Q.of_ints 14 21);
+  check "neg den" (Q.of_ints (-2) 3) (Q.of_ints 2 (-3));
+  check "mul" (Q.of_ints 1 3) (Q.mul (Q.of_ints 2 3) Q.half);
+  check "div" (Q.of_ints 4 3) (Q.div (Q.of_ints 2 3) Q.half);
+  check "inv" (Q.of_ints 3 2) (Q.inv (Q.of_ints 2 3));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.(check int) "compare" (-1) (Q.compare (Q.of_ints 1 3) Q.half);
+  Alcotest.(check int) "sign" (-1) (Q.sign (Q.of_ints (-1) 7))
+
+let test_of_float_exact () =
+  check "0.5" Q.half (Q.of_float 0.5);
+  check "0.1 is not 1/10"
+    (Q.make (B.of_string "3602879701896397") (B.shift_left B.one 55))
+    (Q.of_float 0.1);
+  check "subnormal" (Q.of_pow2 (-1074)) (Q.of_float (Float.ldexp 1.0 (-1074)));
+  Alcotest.check_raises "nan" (Invalid_argument "Rational.of_float: not finite") (fun () ->
+      ignore (Q.of_float Float.nan))
+
+let test_to_float_rounding () =
+  (* 1/3 rounds to the double nearest 1/3. *)
+  Alcotest.(check (float 0.0)) "1/3" (1.0 /. 3.0) (Q.to_float (Q.of_ints 1 3));
+  (* Exactly representable stays exact. *)
+  Alcotest.(check (float 0.0)) "exact" 0.625 (Q.to_float (Q.of_ints 5 8));
+  (* Ties to even: 2^53 + 1 viewed as rational. *)
+  Alcotest.(check (float 0.0))
+    "tie to even"
+    (Float.ldexp 1.0 53)
+    (Q.to_float (Q.of_bigint (B.add (B.shift_left B.one 53) B.one)));
+  (* Overflow and underflow. *)
+  Alcotest.(check (float 0.0)) "overflow" infinity (Q.to_float (Q.of_pow2 1100));
+  Alcotest.(check (float 0.0)) "neg overflow" neg_infinity (Q.to_float (Q.neg (Q.of_pow2 1100)));
+  Alcotest.(check (float 0.0)) "underflow" 0.0 (Q.to_float (Q.of_pow2 (-1100)));
+  (* Smallest subnormal midpoint: 2^-1075 ties to 0 (even). *)
+  Alcotest.(check (float 0.0)) "2^-1075 tie" 0.0 (Q.to_float (Q.of_pow2 (-1075)));
+  (* Just above the tie rounds up to the smallest subnormal. *)
+  Alcotest.(check (float 0.0))
+    "just above 2^-1075"
+    (Float.ldexp 1.0 (-1074))
+    (Q.to_float (Q.add (Q.of_pow2 (-1075)) (Q.of_pow2 (-1200))));
+  (* Subnormal midpoints round to even significand. *)
+  let sub3 = Q.mul (Q.of_int 3) (Q.of_pow2 (-1074)) in
+  let mid = Q.add sub3 (Q.of_pow2 (-1075)) in
+  Alcotest.(check (float 0.0)) "subnormal tie" (Float.ldexp 4.0 (-1074)) (Q.to_float mid)
+
+let test_ilog2_floor () =
+  Alcotest.(check int) "ilog2 5/2" 1 (Q.ilog2 (Q.of_ints 5 2));
+  Alcotest.(check int) "ilog2 1" 0 (Q.ilog2 Q.one);
+  Alcotest.(check int) "ilog2 1/3" (-2) (Q.ilog2 (Q.of_ints 1 3));
+  Alcotest.(check int) "ilog2 -8" 3 (Q.ilog2 (Q.of_int (-8)));
+  Alcotest.check bigint "floor 7/2" (B.of_int 3) (Q.floor (Q.of_ints 7 2));
+  Alcotest.check bigint "floor -7/2" (B.of_int (-4)) (Q.floor (Q.of_ints (-7) 2));
+  Alcotest.check bigint "round 5/2 away" (B.of_int 3) (Q.round_nearest (Q.of_ints 5 2));
+  Alcotest.check bigint "round -5/2 away" (B.of_int (-3)) (Q.round_nearest (Q.of_ints (-5) 2));
+  Alcotest.check bigint "round 7/3" (B.of_int 2) (Q.round_nearest (Q.of_ints 7 3))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_float/to_float roundtrip" ~count:5000 QCheck.unit (fun () ->
+      let x = random_double ~max_exp:500 st in
+      Q.to_float (Q.of_float x) = x)
+
+let prop_field =
+  QCheck.Test.make ~name:"field laws" ~count:1000 QCheck.unit (fun () ->
+      let a = random_rational st 80 and b = random_rational st 80 and c = random_rational st 40 in
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.mul (Q.add a b) c) (Q.add (Q.mul a c) (Q.mul b c))
+      && Q.equal (Q.sub a (Q.add a b)) (Q.neg b)
+      && (Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a))
+
+let prop_compare_to_float =
+  QCheck.Test.make ~name:"to_float is monotone" ~count:2000 QCheck.unit (fun () ->
+      let a = random_rational st 60 and b = random_rational st 60 in
+      let c = Q.compare a b in
+      let fa = Q.to_float a and fb = Q.to_float b in
+      if c < 0 then fa <= fb else if c > 0 then fa >= fb else fa = fb)
+
+let prop_to_float_half_ulp =
+  QCheck.Test.make ~name:"to_float within half ulp" ~count:2000 QCheck.unit (fun () ->
+      let a = random_rational st 70 in
+      if Q.is_zero a then true
+      else begin
+        let f = Q.to_float a in
+        if not (Float.is_finite f) then true
+        else begin
+          (* |a - f| <= ulp-gap to either neighbor. *)
+          let up = Q.of_float (Fp.Fp64.next_up f) and dn = Q.of_float (Fp.Fp64.next_down f) in
+          let d = Q.abs (Q.sub a (Q.of_float f)) in
+          Q.compare d (Q.abs (Q.sub a up)) <= 0 && Q.compare d (Q.abs (Q.sub a dn)) <= 0
+        end
+      end)
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "of_float exact" `Quick test_of_float_exact;
+          Alcotest.test_case "to_float rounding" `Quick test_to_float_rounding;
+          Alcotest.test_case "ilog2/floor/round" `Quick test_ilog2_floor;
+        ] );
+      qsuite "properties"
+        [ prop_roundtrip; prop_field; prop_compare_to_float; prop_to_float_half_ulp ];
+    ]

@@ -1,0 +1,49 @@
+(* Shared helpers for the test suites. *)
+
+module Q = Rational
+module B = Bigint
+
+(* Deterministic pseudo-random state per suite, so failures reproduce. *)
+let rand seed = Random.State.make [| 0x5EED; seed |]
+
+(* Random Bigint with roughly [bits] bits, either sign. *)
+let random_bigint st bits =
+  let x = ref B.zero in
+  let chunks = (bits / 30) + 1 in
+  for _ = 1 to chunks do
+    x := B.add (B.shift_left !x 30) (B.of_int (Random.State.full_int st (1 lsl 30)))
+  done;
+  if Random.State.bool st then B.neg !x else !x
+
+let random_nonzero_bigint st bits =
+  let rec go () =
+    let x = random_bigint st bits in
+    if B.is_zero x then go () else x
+  in
+  go ()
+
+(* Random finite double spread over many binades. *)
+let random_double ?(max_exp = 300) st =
+  let m = Random.State.float st 2.0 -. 1.0 in
+  Float.ldexp m (Random.State.int st (2 * max_exp) - max_exp)
+
+let random_rational st bits = Q.make (random_bigint st bits) (random_nonzero_bigint st bits)
+
+(* ulp distance between doubles, for oracle-vs-libm comparisons. *)
+let ulps a b = Int64.abs (Int64.sub (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+(* Value-equality of two patterns of T: equal patterns, or both encode
+   the same real (catches -0.0 vs +0.0), or both NaN. *)
+let pattern_value_equal (module T : Fp.Representation.S) a b =
+  a = b
+  ||
+  match (T.classify a, T.classify b) with
+  | Fp.Representation.Finite, Fp.Representation.Finite -> T.to_double a = T.to_double b
+  | Fp.Representation.Nan, Fp.Representation.Nan -> true
+  | _ -> false
+
+(* Alcotest testables. *)
+let bigint = Alcotest.testable B.pp B.equal
+let rational = Alcotest.testable Q.pp Q.equal
+
+let qsuite name cases = (name, List.map QCheck_alcotest.to_alcotest cases)
