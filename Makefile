@@ -1,0 +1,27 @@
+# Convenience wrappers around the dune alias split.
+#
+#   make check-fast   build + the fast test tier (@runtest: strided
+#                     16-bit subsets, engine determinism at jobs 1/2/4)
+#   make check-full   fast tier + @exhaustive (every bfloat16/float16
+#                     input of the differential suite, RLIBM_EXHAUSTIVE=1)
+#
+# RLIBM_JOBS=<n> controls worker domains for the sharded passes.
+
+.PHONY: all build check-fast check-full bench clean
+
+all: build
+
+build:
+	dune build
+
+check-fast: build
+	dune runtest
+
+check-full: check-fast
+	dune build @exhaustive
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -330,6 +330,82 @@ let vec () =
             (scalar /. batched))
     [ "log2"; "exp2"; "sinpi" ]
 
+(* Validation throughput vs domain count: the sharded Check/validation
+   pass (Algorithm 4's bottleneck at full 32-bit scale) timed at fixed
+   job counts.  On a single-CPU host the jobs>1 rows measure scheduling
+   overhead, not speedup; on a multicore host they show the scaling the
+   ISSUE targets. *)
+let par () =
+  pr_header "PAR: validation throughput vs worker domains (bfloat16 log2, oracle truth + compare)";
+  let t = Funcs.Specs.bfloat16 in
+  let module T = Fp.Bfloat16 in
+  match Funcs.Libm.get ~quality t "log2" with
+  | exception Failure msg -> Printf.printf "skipped (%s)\n" msg
+  | g ->
+      (* Every 8th bfloat16 pattern: large enough to shard, small enough
+         to finish promptly at jobs=1. *)
+      let pats =
+        Array.of_seq
+          (Seq.filter (fun p -> p land 7 = 0) (Array.to_seq Rlibm.Enumerate.exhaustive16))
+      in
+      let n = Array.length pats in
+      let spec = g.Rlibm.Generator.spec in
+      let validate jobs =
+        Parallel.fold_chunks ~jobs ~n ~combine:( + ) ~init:0
+          (fun ~lo ~hi ->
+            let bad = ref 0 in
+            for k = lo to hi - 1 do
+              let pat = pats.(k) in
+              let want =
+                match spec.special pat with
+                | Some y -> y
+                | None ->
+                    Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
+                      (T.to_rational pat)
+              in
+              if
+                not
+                  (Rlibm.Generator.patterns_value_equal spec.repr
+                     (Rlibm.Generator.eval_pattern g pat) want)
+              then incr bad
+            done;
+            !bad)
+      in
+      Printf.printf "%6s %10s %12s %10s %8s\n" "jobs" "wall_s" "items/s" "busy_s" "bad";
+      let base = ref None in
+      List.iter
+        (fun jobs ->
+          let t0 = Unix.gettimeofday () in
+          let bad = validate jobs in
+          let wall = Unix.gettimeofday () -. t0 in
+          let busy =
+            match Parallel.last_stats () with
+            | Some s -> Array.fold_left ( +. ) 0.0 s.Parallel.shard_seconds
+            | None -> wall
+          in
+          let b = match !base with None -> base := Some wall; wall | Some b -> b in
+          Printf.printf "%6d %10.2f %12.0f %10.2f %8d  (%.2fx vs jobs=1)\n%!" jobs wall
+            (float_of_int n /. wall) busy bad (b /. wall))
+        [ 1; 2; 4; 8 ];
+      (* Batch engine on a large synthetic batch: the sharded
+         Funcs.Batch path vs its own jobs=1 run. *)
+      let big = 1 lsl 16 in
+      let src = Array.init big (fun i -> pats.(i mod n)) in
+      let dst = Array.make big 0 in
+      Printf.printf "batch engine (%d patterns):\n" big;
+      List.iter
+        (fun jobs ->
+          Parallel.set_jobs jobs;
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to 8 do
+            Funcs.Batch.eval_patterns g src dst
+          done;
+          let wall = Unix.gettimeofday () -. t0 in
+          Printf.printf "  jobs %2d: %8.3f s (%10.0f items/s)\n%!" jobs wall
+            (float_of_int (8 * big) /. wall))
+        [ 1; 2; 4; 8 ];
+      Parallel.set_jobs 1
+
 let () =
   Printf.printf "RLIBM-32 reproduction benchmarks (see EXPERIMENTS.md for the paper mapping)\n";
   Printf.printf "Correctness tables: dune exec bin/check.exe -- table1 | table2\n";
@@ -343,4 +419,5 @@ let () =
     ablation_sampling ();
     ablation_structure ()
   end;
-  if want "vec" then vec ()
+  if want "vec" then vec ();
+  if want "par" then par ()

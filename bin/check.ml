@@ -53,16 +53,26 @@ let check_function (t : Funcs.Specs.target) name ~fresh_per_stratum ~quality =
         Oracle.Elementary.correctly_rounded ~round:T.round_rational g.spec.oracle
           (T.to_rational pat)
   in
+  (* Sharded across domains: each shard counts into its own array; the
+     shard-order element-wise sum makes the totals identical at every
+     job count (integer addition is associative-commutative anyway, but
+     the merge order is fixed regardless). *)
+  let nlibs = List.length libs in
   let count patterns =
-    let wrong = Array.make (List.length libs) 0 in
-    Array.iter
-      (fun pat ->
-        let want = truth pat in
-        List.iteri
-          (fun i l -> if not (value_equal (module T) (l.eval pat) want) then wrong.(i) <- wrong.(i) + 1)
-          libs)
-      patterns;
-    wrong
+    Parallel.fold_chunks ~n:(Array.length patterns)
+      ~combine:(fun a b -> Array.map2 ( + ) a b)
+      ~init:(Array.make nlibs 0)
+      (fun ~lo ~hi ->
+        let wrong = Array.make nlibs 0 in
+        for k = lo to hi - 1 do
+          let pat = patterns.(k) in
+          let want = truth pat in
+          List.iteri
+            (fun i l ->
+              if not (value_equal (module T) (l.eval pat) want) then wrong.(i) <- wrong.(i) + 1)
+            libs
+        done;
+        wrong)
   in
   let gen_set = Funcs.Libm.enumeration t quality in
   let fresh =
@@ -91,6 +101,12 @@ let run_table (t : Funcs.Specs.target) names ~fresh_per_stratum ~quality =
 
 open Cmdliner
 
+let jobs_term =
+  let doc = "Worker domains for the sharded passes (default: RLIBM_JOBS or the runtime's recommendation)." in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+
+let set_jobs = function Some j -> Parallel.set_jobs j | None -> ()
+
 let quality_term =
   let q =
     Arg.(value
@@ -106,17 +122,20 @@ let fresh_term =
 let funcs_term =
   Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Check only this function (repeatable).")
 
-let table1 quality fresh fns =
+let table1 jobs quality fresh fns =
+  set_jobs jobs;
   let names = if fns = [] then Funcs.Specs.float_functions else fns in
   run_table Funcs.Specs.float32 names ~fresh_per_stratum:fresh ~quality
 
-let table2 quality fresh fns =
+let table2 jobs quality fresh fns =
+  set_jobs jobs;
   let names = if fns = [] then Funcs.Specs.posit_functions else fns in
   run_table Funcs.Specs.posit32 names ~fresh_per_stratum:fresh ~quality
 
 (* Table 1/2 with nothing sampled: every input of every 16-bit target.
    This is the scale where our guarantee equals the paper's. *)
-let table16 quality fresh fns =
+let table16 jobs quality fresh fns =
+  set_jobs jobs;
   List.iter
     (fun (t : Funcs.Specs.target) ->
       let names =
@@ -129,17 +148,17 @@ let table16 quality fresh fns =
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Float32 correctness table (paper Table 1)")
-    Term.(const table1 $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table1 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Posit32 correctness table (paper Table 2)")
-    Term.(const table2 $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table2 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
 
 let table16_cmd =
   Cmd.v
     (Cmd.info "table16"
        ~doc:"Exhaustive 16-bit correctness tables (every input of bfloat16/float16/posit16)")
-    Term.(const table16 $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table16 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
 
 let () =
   let info = Cmd.info "check" ~doc:"RLIBM-32 correctness experiments (Tables 1-2)" in

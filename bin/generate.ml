@@ -16,7 +16,7 @@ let names_for (t : Funcs.Specs.target) =
   | "posit32" | "posit16" -> Funcs.Specs.posit_functions
   | _ -> Funcs.Specs.float_functions
 
-let run_one (t : Funcs.Specs.target) quality name =
+let run_one (t : Funcs.Specs.target) quality ~pass_stats name =
   let t0 = Unix.gettimeofday () in
   match Funcs.Libm.get ~quality t name with
   | g ->
@@ -26,18 +26,31 @@ let run_one (t : Funcs.Specs.target) quality name =
         (fun (c : Rlibm.Stats.component) ->
           Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name t.tname
             c.cname wall s.n_inputs s.n_special c.n_constraints c.split_bits c.degree c.n_terms)
-        s.per_component
+        s.per_component;
+      if pass_stats then
+        List.iter (Format.printf "%a" Rlibm.Stats.pp_pass) s.Rlibm.Stats.passes
   | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name t.tname msg
 
-let stats targets quality fns =
+let stats jobs pass_stats targets quality fns =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   Printf.printf "%-7s %-9s %-10s %6s %9s %7s %7s  %-5s %4s %4s\n" "func" "target" "component"
     "time_s" "inputs" "special" "reduced" "polys" "deg" "terms";
   List.iter
     (fun tname ->
       let t = target_of tname in
       let names = if fns = [] then names_for t else fns in
-      List.iter (run_one t quality) names)
+      List.iter (run_one t quality ~pass_stats) names)
     targets
+
+let jobs_term =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:"Worker domains for the sharded passes (default: RLIBM_JOBS or the runtime's recommendation).")
+
+let pass_stats_term =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print per-pass shard statistics (jobs, wall/busy seconds, throughput) after each function.")
 
 let targets_term =
   Arg.(value & opt_all string [ "float32"; "posit32" ]
@@ -54,8 +67,13 @@ let funcs_term =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
-    Term.(const stats $ targets_term $ quality_term $ funcs_term)
+    Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
 
 let () =
   let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
-  exit (Cmd.eval (Cmd.group ~default:Term.(const (fun () -> stats [ "float32"; "posit32" ] Funcs.Libm.Quick []) $ const ()) info [ stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          ~default:
+            Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
+          info [ stats_cmd ]))

@@ -42,7 +42,8 @@ let hardness (module T : R.S) (f : E.fn) x =
           end
       | R.Inf _ | R.Nan -> None)
 
-let run tname fname per_stratum top =
+let run jobs tname fname per_stratum top =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let target =
     match tname with
     | "float32" -> Funcs.Specs.float32
@@ -57,15 +58,26 @@ let run tname fname per_stratum top =
     if T.bits = 16 then Rlibm.Enumerate.exhaustive16
     else Rlibm.Enumerate.stratified32 ~seed:1234 ~per_stratum ()
   in
-  let found = ref [] in
-  Array.iter
-    (fun pat ->
-      if spec.special pat = None then
-        match hardness target.repr spec.oracle (T.to_rational pat) with
-        | Some h when h > 30.0 -> found := (h, pat) :: !found
-        | _ -> ())
-    patterns;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare (b : float) a) !found in
+  (* Sharded boundary hunt: each shard collects its own (hardness, pat)
+     list in pattern order; shard-order concatenation keeps the combined
+     list identical at every job count, and the final sort is stable so
+     equal-hardness ties stay in pattern order. *)
+  let found =
+    Parallel.fold_chunks ~n:(Array.length patterns)
+      ~combine:(fun a b -> a @ b)
+      ~init:[]
+      (fun ~lo ~hi ->
+        let acc = ref [] in
+        for k = hi - 1 downto lo do
+          let pat = patterns.(k) in
+          if spec.special pat = None then
+            match hardness target.repr spec.oracle (T.to_rational pat) with
+            | Some h when h > 30.0 -> acc := (h, pat) :: !acc
+            | _ -> ()
+        done;
+        !acc)
+  in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a) found in
   Printf.printf "%s %s: %d inputs scanned, %d with hardness > 30 bits\n" tname fname
     (Array.length patterns) (List.length sorted);
   Printf.printf "%-12s %-10s %s\n" "hardness" "pattern" "x";
@@ -91,6 +103,11 @@ let run tname fname per_stratum top =
 
 open Cmdliner
 
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:"Worker domains for the sharded scan (default: RLIBM_JOBS or the runtime's recommendation).")
+
 let tname = Arg.(value & opt string "float32" & info [ "t"; "target" ] ~doc:"Target type.")
 let fname = Arg.(value & opt string "exp" & info [ "f"; "function" ] ~doc:"Function name.")
 let per = Arg.(value & opt int 16 & info [ "per-stratum" ] ~doc:"Patterns per stratum (32-bit targets).")
@@ -100,6 +117,6 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "hardcases" ~doc:"Find inputs near rounding boundaries (worst cases for correct rounding)")
-      Term.(const run $ tname $ fname $ per $ top)
+      Term.(const run $ jobs $ tname $ fname $ per $ top)
   in
   exit (Cmd.eval cmd)

@@ -31,7 +31,7 @@ let naive_reduce x =
 let naive_compensate (rr : S.reduction) (v : float array) =
   let n = rr.key land 0x1FF in
   let s = if rr.key land (1 lsl 9) <> 0 then -1.0 else 1.0 in
-  let spn = (Lazy.force Funcs.Tables.sinpi_n).(n) and cpn = (Lazy.force Funcs.Tables.cospi_n).(n) in
+  let spn = (Parallel.Once.get Funcs.Tables.sinpi_n).(n) and cpn = (Parallel.Once.get Funcs.Tables.cospi_n).(n) in
   (* Mixed signs: +cpn*cos, -spn*sin. *)
   s *. ((cpn *. v.(1)) -. (spn *. v.(0)))
 

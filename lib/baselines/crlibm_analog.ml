@@ -68,8 +68,10 @@ let dd_horner coeffs x =
 
 (* Quick-phase polynomials: degree 8 over each family's reduced domain. *)
 let coeff_cache : (string, float array) Hashtbl.t = Hashtbl.create 16
+let coeff_mu = Mutex.create ()
 
 let quick_coeffs name =
+  Mutex.protect coeff_mu @@ fun () ->
   match Hashtbl.find_opt coeff_cache name with
   | Some c -> c
   | None ->
@@ -104,7 +106,7 @@ let timed_eval name =
     | "ln" | "log2" | "log10" -> fun x -> (Funcs.Reductions.log_reduce x).r
     | _ -> fun x -> (Funcs.Reductions.sinpi_reduce x).r
   in
-  let tbl = Lazy.force Funcs.Tables.exp2_j in
+  let tbl = Parallel.Once.get Funcs.Tables.exp2_j in
   fun x ->
     let r = reduce x in
     let p = dd_horner coeffs r in

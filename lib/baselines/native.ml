@@ -80,7 +80,7 @@ type family_tables = {
 let build mode =
   let r = rnd mode in
   let d = poly_degree mode in
-  let tab a = Array.map r (Lazy.force a) in
+  let tab a = Array.map r (Parallel.Once.get a) in
   let fit f lo hi = Array.map r (Minimax.interpolate f ~lo ~hi ~degree:d) in
   {
     exp2_j = tab Funcs.Tables.exp2_j;
@@ -91,10 +91,10 @@ let build mode =
     cospi_n = tab Funcs.Tables.cospi_n;
     sinh_n = tab Funcs.Tables.sinh_n;
     cosh_n = tab Funcs.Tables.cosh_n;
-    ln2 = r (Lazy.force Funcs.Tables.ln2_d);
-    log10_2 = r (Lazy.force Funcs.Tables.log10_2_d);
-    cw_exp = Lazy.force Funcs.Tables.ln2_over_64;
-    cw_exp10 = Lazy.force Funcs.Tables.log10_2_over_64;
+    ln2 = r (Parallel.Once.get Funcs.Tables.ln2_d);
+    log10_2 = r (Parallel.Once.get Funcs.Tables.log10_2_d);
+    cw_exp = Parallel.Once.get Funcs.Tables.ln2_over_64;
+    cw_exp10 = Parallel.Once.get Funcs.Tables.log10_2_over_64;
     c_exp = fit E.exp (-0.0054182) 0.0054182;
     c_exp2 = fit E.exp2 (-0.0078125) 0.0078125;
     c_exp10 = fit E.exp10 (-0.0023526) 0.0023526;
@@ -107,8 +107,10 @@ let build mode =
     c_cosh = fit E.cosh 0.0 (1.0 /. 64.0);
   }
 
-let tables_f32 = lazy (build F32)
-let tables_f64 = lazy (build F64)
+(* Domain-safe one-shot build: the correctness checker's sharded count
+   loop may force these from any worker domain. *)
+let tables_f32 = Parallel.Once.make (fun () -> build F32)
+let tables_f64 = Parallel.Once.make (fun () -> build F64)
 
 (* Rounded Horner. *)
 let horner r coeffs x =
@@ -124,7 +126,7 @@ type lib = { eval : string -> float -> float }
     past which every representable input is an integer (a float library
     for that type special-cases it the same way). *)
 let make mode ~trig_int =
-  let tb = Lazy.force (match mode with F32 -> tables_f32 | F64 -> tables_f64) in
+  let tb = Parallel.Once.get (match mode with F32 -> tables_f32 | F64 -> tables_f64) in
   let s = sat_of mode in
   let r = rnd mode in
   let exp_like ~hi ~lo ~inv_c ~(cw : Funcs.Tables.cody_waite) coeffs x =

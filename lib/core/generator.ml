@@ -166,18 +166,24 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-pattern result of the enumeration pass: pure in the pattern, so
+   the pass fans out over domains; everything order-sensitive (interval
+   intersection failures, the recorded input list) happens in the
+   sequential merge below, in pattern order, identically at every job
+   count. *)
+type deduced =
+  | D_special
+  | D_ok of int * int * Reduced.constr array  (* pattern, oracle output, per-component *)
+  | D_escape of int  (* OC misses the rounding interval at this pattern *)
+
 let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
   let module T = (val spec.repr : T_intf.S) in
   let t0 = Sys.time () in
   let n_components = Array.length spec.components in
-  (* Per-component constraint accumulation, merged by reduced input. *)
-  let merged = Array.init n_components (fun _ -> Hashtbl.create 4096) in
-  let recorded = ref [] in
-  let n_special = ref 0 in
-  let failure = ref None in
-  let handle pat =
+  (* Enumeration pass (Algorithm 1's oracle sweep), domain-parallel. *)
+  let deduce_one pat =
     match spec.special pat with
-    | Some _ -> incr n_special
+    | Some _ -> D_special
     | None -> (
         let y =
           Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
@@ -185,32 +191,49 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
         in
         let interval = Rounding.interval spec.repr y in
         match Reduced.deduce spec ~pattern:pat ~interval with
-        | Error (Reduced.Oracle_escapes p) ->
-            failure :=
-              Some
-                (Printf.sprintf
-                   "%s: output compensation misses the rounding interval at pattern %#x \
-                    (range reduction or H precision inadequate)"
-                   spec.name p)
-        | Ok (_rr, cons) ->
-            recorded := (pat, y) :: !recorded;
-            Array.iteri
-              (fun i (c : Reduced.constr) ->
-                let key = Fp.Fp64.bits c.r in
-                match Hashtbl.find_opt merged.(i) key with
-                | None -> Hashtbl.replace merged.(i) key c
-                | Some prev ->
-                    let lo = Float.max prev.lo c.lo and hi = Float.min prev.hi c.hi in
-                    if lo > hi then
-                      failure :=
-                        Some
-                          (Printf.sprintf
-                             "%s: no common reduced interval at r=%h (redesign range reduction)"
-                             spec.name c.r)
-                    else Hashtbl.replace merged.(i) key { c with lo; hi })
-              cons)
+        | Error (Reduced.Oracle_escapes p) -> D_escape p
+        | Ok (_rr, cons) -> D_ok (pat, y, cons))
   in
-  Array.iter (fun p -> if !failure = None then handle p) patterns;
+  let chunks =
+    Parallel.map_chunks ~n:(Array.length patterns) (fun ~lo ~hi ->
+        Array.init (hi - lo) (fun k -> deduce_one patterns.(lo + k)))
+  in
+  let oracle_pass =
+    Option.map (Stats.pass_of_run ~name:"oracle") (Parallel.last_stats ())
+  in
+  (* Sequential merge, by reduced input, in pattern order. *)
+  let merged = Array.init n_components (fun _ -> Hashtbl.create 4096) in
+  let recorded = ref [] in
+  let n_special = ref 0 in
+  let failure = ref None in
+  let merge = function
+    | D_special -> incr n_special
+    | D_escape p ->
+        failure :=
+          Some
+            (Printf.sprintf
+               "%s: output compensation misses the rounding interval at pattern %#x \
+                (range reduction or H precision inadequate)"
+               spec.name p)
+    | D_ok (pat, y, cons) ->
+        recorded := (pat, y) :: !recorded;
+        Array.iteri
+          (fun i (c : Reduced.constr) ->
+            let key = Fp.Fp64.bits c.r in
+            match Hashtbl.find_opt merged.(i) key with
+            | None -> Hashtbl.replace merged.(i) key c
+            | Some prev ->
+                let lo = Float.max prev.lo c.lo and hi = Float.min prev.hi c.hi in
+                if lo > hi then
+                  failure :=
+                    Some
+                      (Printf.sprintf
+                         "%s: no common reduced interval at r=%h (redesign range reduction)"
+                         spec.name c.r)
+                else Hashtbl.replace merged.(i) key { c with lo; hi })
+          cons
+  in
+  Array.iter (fun chunk -> Array.iter (fun d -> if !failure = None then merge d) chunk) chunks;
   match !failure with
   | Some msg -> Error msg
   | None -> (
@@ -287,17 +310,32 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
                     Array.map
                       (function Some s -> s | None -> assert false)
                       comp_stats;
+                  passes = [];
                 };
             }
           in
           (* Final validation: the actual run-time path must reproduce
-             the oracle pattern for every enumerated input. *)
-          let bad = ref 0 in
-          List.iter
-            (fun (pat, y) ->
-              if not (patterns_value_equal spec.repr (eval_pattern g pat) y) then incr bad)
-            !recorded;
-          if !bad > 0 then
+             the oracle pattern for every enumerated input.  Pure per
+             input, so it shards too; int addition folded in shard order
+             keeps the count identical at every job count. *)
+          let rec_arr = Array.of_list (List.rev !recorded) in
+          let bad =
+            Parallel.fold_chunks ~n:(Array.length rec_arr) ~combine:( + ) ~init:0
+              (fun ~lo ~hi ->
+                let b = ref 0 in
+                for k = lo to hi - 1 do
+                  let pat, y = rec_arr.(k) in
+                  if not (patterns_value_equal spec.repr (eval_pattern g pat) y) then incr b
+                done;
+                !b)
+          in
+          let check_pass =
+            Option.map (Stats.pass_of_run ~name:"check") (Parallel.last_stats ())
+          in
+          let g =
+            { g with stats = { g.stats with passes = List.filter_map Fun.id [ oracle_pass; check_pass ] } }
+          in
+          if bad > 0 then
             Error
-              (Printf.sprintf "%s: %d enumerated inputs misround after generation" spec.name !bad)
+              (Printf.sprintf "%s: %d enumerated inputs misround after generation" spec.name bad)
           else Ok g)

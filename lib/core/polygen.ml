@@ -22,6 +22,29 @@ let check_one ~terms coeffs (c : Reduced.constr) =
   let v = Polyeval.eval ~terms coeffs c.r in
   v >= c.lo && v <= c.hi
 
+(* Algorithm 4's Check over the full sub-domain constraint set:
+   violation indices in ascending order.  Shards across domains past
+   this size; per-shard ascending lists concatenated in shard order keep
+   the counterexample set canonical (lowest input first) at every job
+   count. *)
+let par_check_min = 4096
+
+let violations ~terms coeffs (cons : Reduced.constr array) =
+  let scan lo hi =
+    let acc = ref [] in
+    for i = hi - 1 downto lo do
+      if not (check_one ~terms coeffs cons.(i)) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let n = Array.length cons in
+  if n < par_check_min then scan 0 n
+  else
+    Parallel.fold_chunks ~n
+      ~combine:(fun a b -> a @ b)
+      ~init:[]
+      (fun ~lo ~hi -> scan lo hi)
+
 (* Uniform sample by index (the paper samples proportionally to the
    input distribution: constraints are one per distinct reduced input,
    so index-uniform = distribution-proportional), plus the most highly
@@ -110,12 +133,10 @@ let gen_with ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) 
         | None -> result := Some No_polynomial
         | Some dc -> (
             (* Check against the full sub-domain constraint set. *)
-            let cex = ref [] in
-            Array.iteri (fun i c -> if not (check_one ~terms dc c) then cex := i :: !cex) cons;
-            match !cex with
+            match violations ~terms dc cons with
             | [] -> result := Some (Found dc)
-            | violations ->
-                List.iter (fun i -> Hashtbl.replace picked i ()) violations;
+            | cex ->
+                List.iter (fun i -> Hashtbl.replace picked i ()) cex;
                 slots := sample ())
       end
     done;

@@ -10,6 +10,7 @@ type t = {
   n_special : int;  (* handled by special cases *)
   n_reduced : int;  (* distinct reduced constraints, summed over components *)
   per_component : component array;
+  passes : pass list;  (* sharded phases, in execution order *)
 }
 
 and component = {
@@ -21,6 +22,41 @@ and component = {
   n_terms : int;
 }
 
+(* One domain-parallel pass of the generator (oracle enumeration, final
+   validation replay): wall clock, shard spread and throughput, so the
+   RLIBM_JOBS speedup is observable from `generate stats`. *)
+and pass = {
+  pass_name : string;
+  jobs : int;
+  n_shards : int;
+  items : int;
+  wall_seconds : float;
+  busy_seconds : float;  (* sum over shards; busy/wall ~ effective parallelism *)
+  max_shard_seconds : float;
+  items_per_second : float;
+}
+
+let pass_of_run ~name (r : Parallel.stats) =
+  let busy = Array.fold_left ( +. ) 0.0 r.shard_seconds in
+  let worst = Array.fold_left Float.max 0.0 r.shard_seconds in
+  {
+    pass_name = name;
+    jobs = r.jobs;
+    n_shards = r.n_shards;
+    items = r.n_items;
+    wall_seconds = r.wall_seconds;
+    busy_seconds = busy;
+    max_shard_seconds = worst;
+    items_per_second = (if r.wall_seconds > 0.0 then float_of_int r.n_items /. r.wall_seconds else 0.0);
+  }
+
+let pp_pass fmt p =
+  Format.fprintf fmt
+    "  pass %-8s jobs %2d, %3d shards, %7d items, wall %6.2fs, busy %6.2fs (par %.2fx), %9.0f items/s@."
+    p.pass_name p.jobs p.n_shards p.items p.wall_seconds p.busy_seconds
+    (if p.wall_seconds > 0.0 then p.busy_seconds /. p.wall_seconds else 1.0)
+    p.items_per_second
+
 let pp fmt t =
   Format.fprintf fmt "%s (%s): %.1fs, %d inputs (%d special), %d reduced@." t.name t.repr_name
     t.gen_seconds t.n_inputs t.n_special t.n_reduced;
@@ -28,4 +64,5 @@ let pp fmt t =
     (fun c ->
       Format.fprintf fmt "  %-10s %7d constraints, %4d polys (2^%d), degree %d, %d terms@."
         c.cname c.n_constraints c.n_polynomials c.split_bits c.degree c.n_terms)
-    t.per_component
+    t.per_component;
+  List.iter (pp_pass fmt) t.passes

@@ -9,3 +9,5 @@ let to_rational p = Ieee.to_rational fmt p
 let round_rational q = Ieee.round_rational fmt q
 let of_double x = Ieee.of_double fmt x
 let order_key p = Ieee.order_key fmt p
+let next_up p = Ieee.next_up fmt p
+let next_down p = Ieee.next_down fmt p

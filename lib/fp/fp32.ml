@@ -14,3 +14,5 @@ let order_key p = Ieee.order_key fmt p
 let mask32 = (1 lsl 32) - 1
 let to_double p = Int32.float_of_bits (Int32.of_int p)
 let of_double x = Int32.to_int (Int32.bits_of_float x) land mask32
+let next_up p = Ieee.next_up fmt p
+let next_down p = Ieee.next_down fmt p

@@ -106,3 +106,27 @@ let of_double f x =
   else round_rational f (Q.of_float x)
 
 let order_key f p = if p land sign_bit f = 0 then p else sign_bit f - p
+
+(* Pattern-level GetNext/GetPrev (Algorithm 2's neighbor walk), matching
+   {!Fp64.next_up}/{!Fp64.next_down} value semantics: +-0 step to the
+   smallest subnormal of the step's sign, the infinities saturate in
+   their own direction and step back to the largest finite the other
+   way.
+   @raise Invalid_argument on a NaN pattern. *)
+let next_up f p =
+  match classify f p with
+  | Representation.Nan -> invalid_arg (f.name ^ ".next_up: nan pattern")
+  | _ ->
+      if p = inf_pattern f 1 then p
+      else if p land sign_bit f = 0 then p + 1
+      else if p = sign_bit f (* -0 *) then 1
+      else p - 1
+
+let next_down f p =
+  match classify f p with
+  | Representation.Nan -> invalid_arg (f.name ^ ".next_down: nan pattern")
+  | _ ->
+      if p = inf_pattern f (-1) then p
+      else if p = 0 (* +0 *) then sign_bit f lor 1
+      else if p land sign_bit f = 0 then p - 1
+      else p + 1

@@ -6,9 +6,21 @@
    OCaml has no auto-vectorizer, but the batch shape still pays: the
    spec's closures, tables and piecewise structures are hoisted out of
    the loop, bounds checks amortize, and the double<->pattern conversions
-   pipeline.  The VEC bench section measures scalar-call vs batch. *)
+   pipeline.  The VEC bench section measures scalar-call vs batch.
+
+   Large batches shard across domains via {!Parallel}: each shard owns a
+   disjoint [dst] slice and its own compiled evaluators (compiled
+   closures share scratch state and are not reentrant), so results are
+   the same bytes at every job count. *)
 
 module G = Rlibm.Generator
+
+(* Below this, domain spawn overhead beats the win. *)
+let par_min = 1 lsl 14
+
+let run_sharded n shard_body =
+  if n < par_min then shard_body ~lo:0 ~hi:n
+  else ignore (Parallel.map_chunks ~n (fun ~lo ~hi -> shard_body ~lo ~hi))
 
 (** [eval_patterns g src dst] applies the generated function to every
     pattern of [src] into [dst].
@@ -19,22 +31,26 @@ let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
   let special = g.spec.special in
   let reduce = g.spec.reduce in
   let compensate = g.spec.compensate in
-  let evals = Array.map Rlibm.Piecewise.compile g.pieces in
-  let ncomp = Array.length evals in
-  (* Scratch for component values, reused across the batch. *)
-  let v = Array.make ncomp 0.0 in
-  for i = 0 to Array.length src - 1 do
-    let pat = src.(i) in
-    dst.(i) <-
-      (match special pat with
-      | Some out -> out
-      | None ->
-          let rr = reduce (T.to_double pat) in
-          for c = 0 to ncomp - 1 do
-            v.(c) <- evals.(c) rr.r
-          done;
-          T.of_double (compensate rr v))
-  done
+  let shard ~lo ~hi =
+    (* Per-shard evaluators and scratch: compiled closures are not
+       reentrant across domains. *)
+    let evals = Array.map Rlibm.Piecewise.compile g.pieces in
+    let ncomp = Array.length evals in
+    let v = Array.make ncomp 0.0 in
+    for i = lo to hi - 1 do
+      let pat = src.(i) in
+      dst.(i) <-
+        (match special pat with
+        | Some out -> out
+        | None ->
+            let rr = reduce (T.to_double pat) in
+            for c = 0 to ncomp - 1 do
+              v.(c) <- evals.(c) rr.r
+            done;
+            T.of_double (compensate rr v))
+    done
+  in
+  run_sharded (Array.length src) shard
 
 (** [eval_doubles g src dst] is the double-valued batch entry point (the
     arrays hold exact target values, as in the paper's harness). *)
@@ -44,19 +60,22 @@ let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
   let special = g.spec.special in
   let reduce = g.spec.reduce in
   let compensate = g.spec.compensate in
-  let evals = Array.map Rlibm.Piecewise.compile g.pieces in
-  let ncomp = Array.length evals in
-  let v = Array.make ncomp 0.0 in
-  for i = 0 to Array.length src - 1 do
-    let x = src.(i) in
-    let pat = T.of_double x in
-    dst.(i) <-
-      (match special pat with
-      | Some out -> T.to_double out
-      | None ->
-          let rr = reduce x in
-          for c = 0 to ncomp - 1 do
-            v.(c) <- evals.(c) rr.r
-          done;
-          T.to_double (T.of_double (compensate rr v)))
-  done
+  let shard ~lo ~hi =
+    let evals = Array.map Rlibm.Piecewise.compile g.pieces in
+    let ncomp = Array.length evals in
+    let v = Array.make ncomp 0.0 in
+    for i = lo to hi - 1 do
+      let x = src.(i) in
+      let pat = T.of_double x in
+      dst.(i) <-
+        (match special pat with
+        | Some out -> T.to_double out
+        | None ->
+            let rr = reduce x in
+            for c = 0 to ncomp - 1 do
+              v.(c) <- evals.(c) rr.r
+            done;
+            T.to_double (T.of_double (compensate rr v)))
+    done
+  in
+  run_sharded (Array.length src) shard

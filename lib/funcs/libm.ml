@@ -21,10 +21,16 @@ let enumeration (t : Specs.target) quality =
   | _, Full -> Rlibm.Enumerate.stratified32 ~per_stratum:24 ()
 
 let cache : (string * string * quality, G.generated) Hashtbl.t = Hashtbl.create 32
+let cache_mu = Mutex.create ()
 
 (** Generate (or fetch) one function for one target.
-    @raise Failure if generation fails — a spec bug, not a user error. *)
+    @raise Failure if generation fails — a spec bug, not a user error.
+
+    The lock is held across generation: concurrent callers of the same
+    function wait for one generation instead of racing two, and
+    generation itself fans out internally via {!Parallel}. *)
 let get ?(quality = Full) ?cfg (t : Specs.target) name =
+  Mutex.protect cache_mu @@ fun () ->
   match Hashtbl.find_opt cache (name, t.tname, quality) with
   | Some g -> g
   | None -> (

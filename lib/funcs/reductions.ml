@@ -29,15 +29,15 @@ let log_key key = (key land 0xFF, (key lsr 8) - 2048)
 (* OC for ln: v = ln(1+r) |-> e*ln2 + lnF[j] + v.  Monotone increasing. *)
 let ln_compensate rr (v : float array) =
   let j, e = log_key rr.S.key in
-  (float_of_int e *. Lazy.force Tables.ln2_d) +. (Lazy.force Tables.ln_f).(j) +. v.(0)
+  (float_of_int e *. Parallel.Once.get Tables.ln2_d) +. (Parallel.Once.get Tables.ln_f).(j) +. v.(0)
 
 let log2_compensate rr (v : float array) =
   let j, e = log_key rr.S.key in
-  float_of_int e +. (Lazy.force Tables.log2_f).(j) +. v.(0)
+  float_of_int e +. (Parallel.Once.get Tables.log2_f).(j) +. v.(0)
 
 let log10_compensate rr (v : float array) =
   let j, e = log_key rr.S.key in
-  (float_of_int e *. Lazy.force Tables.log10_2_d) +. (Lazy.force Tables.log10_f).(j) +. v.(0)
+  (float_of_int e *. Parallel.Once.get Tables.log10_2_d) +. (Parallel.Once.get Tables.log10_f).(j) +. v.(0)
 
 (* Analytic hull of the log families' reduced input: r = f/F with
    0 <= f < 2^-7; the smallest nonzero f is one ulp of the (<= 28-bit
@@ -77,7 +77,7 @@ let exp2_reduce x =
 (* OC: v = b^r |-> 2^q * (T2[j] * v).  T2 > 0, so monotone increasing. *)
 let exp_compensate rr (v : float array) =
   let j, q = exp_key rr.S.key in
-  Tables.pow2 q *. ((Lazy.force Tables.exp2_j).(j) *. v.(0))
+  Tables.pow2 q *. ((Parallel.Once.get Tables.exp2_j).(j) *. v.(0))
 
 (* r spans [-log_b(2)/128, +log_b(2)/128]; down to one target ulp. *)
 let exp_dom ~half_width =
@@ -114,7 +114,7 @@ let sinpi_reduce x =
 let sinpi_compensate rr (v : float array) =
   let n = rr.S.key land 0x1FF in
   let s = if rr.S.key land (1 lsl 9) <> 0 then -1.0 else 1.0 in
-  let spn = (Lazy.force Tables.sinpi_n).(n) and cpn = (Lazy.force Tables.cospi_n).(n) in
+  let spn = (Parallel.Once.get Tables.sinpi_n).(n) and cpn = (Parallel.Once.get Tables.cospi_n).(n) in
   s *. ((spn *. v.(1)) +. (cpn *. v.(0)))
 
 (* ------------------------------------------------------------------ *)
@@ -148,7 +148,7 @@ let cospi_compensate rr (v : float array) =
   let s = if rr.S.key land (1 lsl 9) <> 0 then -1.0 else 1.0 in
   if n' = 0 then s *. v.(1)
   else begin
-    let spn = (Lazy.force Tables.sinpi_n).(n') and cpn = (Lazy.force Tables.cospi_n).(n') in
+    let spn = (Parallel.Once.get Tables.sinpi_n).(n') and cpn = (Parallel.Once.get Tables.cospi_n).(n') in
     s *. ((cpn *. v.(1)) +. (spn *. v.(0)))
   end
 
@@ -171,12 +171,12 @@ let sinhcosh_reduce x =
 let sinh_compensate rr (v : float array) =
   let n = rr.S.key land 0x1FFF in
   let s = if rr.S.key land (1 lsl 13) <> 0 then -1.0 else 1.0 in
-  let sh = (Lazy.force Tables.sinh_n).(n) and ch = (Lazy.force Tables.cosh_n).(n) in
+  let sh = (Parallel.Once.get Tables.sinh_n).(n) and ch = (Parallel.Once.get Tables.cosh_n).(n) in
   s *. ((sh *. v.(1)) +. (ch *. v.(0)))
 
 let cosh_compensate rr (v : float array) =
   let n = rr.S.key land 0x1FFF in
-  let sh = (Lazy.force Tables.sinh_n).(n) and ch = (Lazy.force Tables.cosh_n).(n) in
+  let sh = (Parallel.Once.get Tables.sinh_n).(n) and ch = (Parallel.Once.get Tables.cosh_n).(n) in
   (ch *. v.(1)) +. (sh *. v.(0))
 
 let sinhcosh_dom_pos = (Float.ldexp 1.0 (-31), 1.0 /. 64.0)
@@ -191,13 +191,13 @@ let sinhcosh_dom_pos = (Float.ldexp 1.0 (-31), 1.0 /. 64.0)
    monotone increasing in the component value: d/dW[(W-1)/(W+1)] > 0. *)
 let tanh_reduce x =
   let t = 2.0 *. Float.abs x in
-  let red = exp_reduce ~inv_c:92.332482616893656877 ~cw:(Lazy.force Tables.ln2_over_64) t in
+  let red = exp_reduce ~inv_c:92.332482616893656877 ~cw:(Parallel.Once.get Tables.ln2_over_64) t in
   { red with S.key = red.S.key lor ((if x < 0.0 then 1 else 0) lsl 22) }
 
 let tanh_compensate rr (v : float array) =
   let j, q = exp_key (rr.S.key land 0x3FFFFF) in
   let s = if rr.S.key land (1 lsl 22) <> 0 then -1.0 else 1.0 in
-  let w = Tables.pow2 q *. ((Lazy.force Tables.exp2_j).(j) *. v.(0)) in
+  let w = Tables.pow2 q *. ((Parallel.Once.get Tables.exp2_j).(j) *. v.(0)) in
   s *. ((w -. 1.0) /. (w +. 1.0))
 
 (* expm1: same reduction as exp; OC subtracts 1 (exact by Sterbenz when
@@ -205,7 +205,7 @@ let tanh_compensate rr (v : float array) =
    elsewhere).  Monotone increasing. *)
 let expm1_compensate rr (v : float array) =
   let j, q = exp_key rr.S.key in
-  (Tables.pow2 q *. ((Lazy.force Tables.exp2_j).(j) *. v.(0))) -. 1.0
+  (Tables.pow2 q *. ((Parallel.Once.get Tables.exp2_j).(j) *. v.(0))) -. 1.0
 
 (* log1p: z = 1 + x is exact in double for every target value outside
    the |x| <= tiny special region, so the log-family reduction applies

@@ -182,7 +182,7 @@ let sinpi_special (t : target) =
       else if Float.abs x <= t.trig_tiny then
         (* pi*x in double, rounded once: the cubic term is below half an
            ulp at this threshold (paper §2, first special class). *)
-        Some (T.of_double (Lazy.force Tables.pi_d *. x))
+        Some (T.of_double (Parallel.Once.get Tables.pi_d *. x))
       else None)
 
 let cospi_special (t : target) =
@@ -323,7 +323,7 @@ let exp (t : target) =
     reduce =
       (fun x ->
         R.exp_reduce ~inv_c:92.332482616893656877 (* 64/ln2 *)
-          ~cw:(Lazy.force Tables.ln2_over_64) x);
+          ~cw:(Parallel.Once.get Tables.ln2_over_64) x);
     components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
     compensate = R.exp_compensate;
     split_hint = 6;
@@ -350,7 +350,7 @@ let exp10 (t : target) =
     reduce =
       (fun x ->
         R.exp_reduce ~inv_c:212.60335893188592315 (* 64*log2(10) *)
-          ~cw:(Lazy.force Tables.log10_2_over_64) x);
+          ~cw:(Parallel.Once.get Tables.log10_2_over_64) x);
     components = [| exp_component "exp10_r" E.exp10 ~half_width:0.0023526 |];
     compensate = R.exp_compensate;
     split_hint = 6;
@@ -424,7 +424,7 @@ let expm1 (t : target) =
     special = expm1_special t;
     reduce =
       (fun x ->
-        R.exp_reduce ~inv_c:92.332482616893656877 ~cw:(Lazy.force Tables.ln2_over_64) x);
+        R.exp_reduce ~inv_c:92.332482616893656877 ~cw:(Parallel.Once.get Tables.ln2_over_64) x);
     components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
     compensate = R.expm1_compensate;
     split_hint = 6;

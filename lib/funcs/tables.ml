@@ -2,8 +2,12 @@
 
    Every entry is the correctly rounded double of its mathematical value,
    computed once per process from the oracle (the paper precomputes the
-   same tables with MPFR, §2.1/§5).  All tables are lazy: a function
-   family pays for its tables on first use only. *)
+   same tables with MPFR, §2.1/§5).  All tables are one-shot
+   ({!Parallel.Once}): a function family pays for its tables on first
+   use only, and the force is domain-safe — the generator's parallel
+   passes may touch a table first from any worker domain. *)
+
+module Once = Parallel.Once
 
 module E = Oracle.Elementary
 module Q = Rational
@@ -14,13 +18,13 @@ let cr f q = E.to_double f q
 (* Constants.                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let ln2_d = lazy (Oracle.Bigfloat.to_float (E.ln2 ~prec:80))
-let ln10_d = lazy (Oracle.Bigfloat.to_float (E.ln10 ~prec:80))
-let pi_d = lazy (Oracle.Bigfloat.to_float (E.pi ~prec:80))
+let ln2_d = Once.make (fun () -> Oracle.Bigfloat.to_float (E.ln2 ~prec:80))
+let ln10_d = Once.make (fun () -> Oracle.Bigfloat.to_float (E.ln10 ~prec:80))
+let pi_d = Once.make (fun () -> Oracle.Bigfloat.to_float (E.pi ~prec:80))
 
 (* log10(2) and log2(10), correctly rounded. *)
-let log10_2_d = lazy (cr E.log10 (Q.of_int 2))
-let log2_10_d = lazy (cr E.log2 (Q.of_int 10))
+let log10_2_d = Once.make (fun () -> cr E.log10 (Q.of_int 2))
+let log2_10_d = Once.make (fun () -> cr E.log2 (Q.of_int 10))
 
 (* ------------------------------------------------------------------ *)
 (* Cody–Waite constant pairs for the exp-family argument reduction:    *)
@@ -40,11 +44,11 @@ let split q =
 
 (* ln2/64 exactly, as a rational at oracle precision. *)
 let ln2_over_64 =
-  lazy (split (Q.mul_pow2 (Oracle.Bigfloat.to_rational (E.ln2 ~prec:140)) (-6)))
+  Once.make (fun () -> split (Q.mul_pow2 (Oracle.Bigfloat.to_rational (E.ln2 ~prec:140)) (-6)))
 
 let log10_2_over_64 =
-  lazy
-    (split
+  Once.make (fun () ->
+    split
        (Q.mul_pow2
           (Q.div
              (Oracle.Bigfloat.to_rational (E.ln2 ~prec:140))
@@ -56,7 +60,7 @@ let log10_2_over_64 =
 (* ------------------------------------------------------------------ *)
 
 let log_table f =
-  lazy (Array.init 128 (fun j -> cr f (Q.add Q.one (Q.of_ints j 128))))
+  Once.make (fun () -> Array.init 128 (fun j -> cr f (Q.add Q.one (Q.of_ints j 128))))
 
 let ln_f = log_table E.ln
 let log2_f = log_table E.log2
@@ -66,7 +70,7 @@ let log10_f = log_table E.log10
 (* Exp family: 2^(j/64) for j in [0, 64).                              *)
 (* ------------------------------------------------------------------ *)
 
-let exp2_j = lazy (Array.init 64 (fun j -> cr E.exp2 (Q.of_ints j 64)))
+let exp2_j = Once.make (fun () -> Array.init 64 (fun j -> cr E.exp2 (Q.of_ints j 64)))
 
 (* 2^q as an exact double for q in [-1022, 1023], via bit assembly. *)
 let pow2 q =
@@ -77,13 +81,13 @@ let pow2 q =
 (* sinpi/cospi: sinpi(N/512), cospi(N/512) for N in [0, 256].          *)
 (* ------------------------------------------------------------------ *)
 
-let sinpi_n = lazy (Array.init 257 (fun n -> cr E.sinpi (Q.of_ints n 512)))
-let cospi_n = lazy (Array.init 257 (fun n -> cr E.cospi (Q.of_ints n 512)))
+let sinpi_n = Once.make (fun () -> Array.init 257 (fun n -> cr E.sinpi (Q.of_ints n 512)))
+let cospi_n = Once.make (fun () -> Array.init 257 (fun n -> cr E.cospi (Q.of_ints n 512)))
 
 (* ------------------------------------------------------------------ *)
 (* sinh/cosh: sinh(N/64), cosh(N/64) for N in [0, 5760) (covers        *)
 (* |x| < 90, past every 32-bit target's overflow/saturation point).    *)
 (* ------------------------------------------------------------------ *)
 
-let sinh_n = lazy (Array.init 5760 (fun n -> cr E.sinh (Q.of_ints n 64)))
-let cosh_n = lazy (Array.init 5760 (fun n -> cr E.cosh (Q.of_ints n 64)))
+let sinh_n = Once.make (fun () -> Array.init 5760 (fun n -> cr E.sinh (Q.of_ints n 64)))
+let cosh_n = Once.make (fun () -> Array.init 5760 (fun n -> cr E.cosh (Q.of_ints n 64)))

@@ -48,15 +48,22 @@ let atanh_inv_scaled ~w n =
 
 let const_cache : (string * int, F.t) Hashtbl.t = Hashtbl.create 16
 
+(* The generator's enumeration pass runs oracle calls from several
+   domains at once (lib/parallel), so the cache is mutex-protected; the
+   lock is held across [compute] so each constant is built exactly once.
+   No [cached] body calls [cached], so the lock cannot re-enter. *)
+let const_mu = Mutex.create ()
+
 let cached name ~prec compute =
   (* Quantize precision so the cache stays small across Ziv retries. *)
   let w = ((prec + 24 + 63) / 64) * 64 in
-  match Hashtbl.find_opt const_cache (name, w) with
-  | Some v -> v
-  | None ->
-      let v = F.round ~prec:(w - 16) (F.make (compute ~w) (-w)) in
-      Hashtbl.add const_cache (name, w) v;
-      v
+  Mutex.protect const_mu (fun () ->
+      match Hashtbl.find_opt const_cache (name, w) with
+      | Some v -> v
+      | None ->
+          let v = F.round ~prec:(w - 16) (F.make (compute ~w) (-w)) in
+          Hashtbl.add const_cache (name, w) v;
+          v)
 
 (* Machin: pi = 16*atan(1/5) - 4*atan(1/239). *)
 let pi ~prec =

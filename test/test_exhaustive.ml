@@ -1,0 +1,55 @@
+(* 16-bit differential tier: the generated log2 and exp checked against
+   the arbitrary-precision oracle on bfloat16 and float16 inputs,
+   through the sharded validation engine.
+
+   Default (`dune runtest`): a strided subset — every 16th pattern — so
+   the tier stays fast.  With RLIBM_EXHAUSTIVE=1 (the @exhaustive
+   alias, `make check-full`): every one of the 65536 patterns of each
+   target, the scale at which our guarantee equals the paper's. *)
+
+module R = Fp.Representation
+open Test_util
+
+let exhaustive =
+  match Sys.getenv_opt "RLIBM_EXHAUSTIVE" with Some ("1" | "true") -> true | _ -> false
+
+let patterns () =
+  if exhaustive then Rlibm.Enumerate.exhaustive16
+  else Array.init (65536 / 16) (fun i -> i * 16)
+
+let differential (target : Funcs.Specs.target) name () =
+  let module T = (val target.repr) in
+  let g = Funcs.Libm.get target name in
+  let spec = g.Rlibm.Generator.spec in
+  let pats = patterns () in
+  let bad =
+    Parallel.fold_chunks ~n:(Array.length pats) ~combine:( + ) ~init:0
+      (fun ~lo ~hi ->
+        let bad = ref 0 in
+        for k = lo to hi - 1 do
+          let pat = pats.(k) in
+          let want =
+            match spec.special pat with
+            | Some y -> y
+            | None ->
+                Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
+                  (T.to_rational pat)
+          in
+          if not (pattern_value_equal (module T) (Rlibm.Generator.eval_pattern g pat) want) then
+            incr bad
+        done;
+        !bad)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "%s %s: misrounded inputs (of %d)" target.tname name (Array.length pats))
+    0 bad
+
+let tier (target : Funcs.Specs.target) =
+  ( target.tname,
+    List.map
+      (fun name -> Alcotest.test_case (name ^ " vs oracle") `Slow (differential target name))
+      [ "log2"; "exp" ] )
+
+let () =
+  if exhaustive then print_endline "RLIBM_EXHAUSTIVE=1: checking all 65536 inputs per target";
+  Alcotest.run "exhaustive16" [ tier Funcs.Specs.bfloat16; tier Funcs.Specs.float16 ]

@@ -63,6 +63,73 @@ let test_order_key (module T : R.S) () =
     (List.filteri (fun i _ -> i < 40) finite)
 
 (* ------------------------------------------------------------------ *)
+(* Pattern-level GetNext/GetPrev (Ieee.next_up/next_down).             *)
+(* ------------------------------------------------------------------ *)
+
+(* next_down inverts next_up up to value equality: the walk through the
+   two zero patterns lands on the other zero (nextUp(-minsub) = -0,
+   nextDown of that is -minsub again), which is the same real value. *)
+let prop_next_inverse (module T : R.S) next_up next_down name =
+  QCheck.Test.make ~name ~count:20000 QCheck.unit (fun () ->
+      let p = Random.State.int st 65536 in
+      match T.classify p with
+      | R.Nan -> true
+      | _ ->
+          let up_ok =
+            let u = next_up p in
+            u = p (* +inf saturates *) || pattern_value_equal (module T) (next_down u) p
+          in
+          let down_ok =
+            let d = next_down p in
+            d = p (* -inf saturates *) || pattern_value_equal (module T) (next_up d) p
+          in
+          up_ok && down_ok)
+
+let prop_next_monotone (module T : R.S) next_up name =
+  QCheck.Test.make ~name ~count:20000 QCheck.unit (fun () ->
+      let p = Random.State.int st 65536 in
+      match T.classify p with
+      | R.Nan -> true
+      | R.Inf _ -> true
+      | R.Finite ->
+          let u = next_up p in
+          (match T.classify u with
+          | R.Finite -> T.to_double u > T.to_double p
+          | R.Inf s -> s > 0 (* max finite steps to +inf *)
+          | R.Nan -> false))
+
+(* The subnormal/normal boundary crossed by a plain walk: the largest
+   subnormal's successor is the smallest normal, one ulp away. *)
+let test_next_boundary () =
+  let check_fmt name (module T : R.S) next_up next_down ~mb ~emin =
+    let max_subnormal = (1 lsl mb) - 1 in
+    let min_normal = 1 lsl mb in
+    Alcotest.(check int) (name ^ ": up across boundary") min_normal (next_up max_subnormal);
+    Alcotest.(check int) (name ^ ": down across boundary") max_subnormal (next_down min_normal);
+    let gap = T.to_double min_normal -. T.to_double max_subnormal in
+    Alcotest.(check (float 0.0)) (name ^ ": boundary gap is one ulp")
+      (Float.ldexp 1.0 (emin - mb)) gap
+  in
+  check_fmt "bfloat16" (module Fp.Bfloat16) Fp.Bfloat16.next_up Fp.Bfloat16.next_down ~mb:7
+    ~emin:(-126);
+  check_fmt "float16" (module Fp.Float16) Fp.Float16.next_up Fp.Float16.next_down ~mb:10
+    ~emin:(-14)
+
+let test_next_zeros_and_infs () =
+  let module T = Fp.Bfloat16 in
+  let sign_bit = 1 lsl 15 in
+  Alcotest.(check int) "next_up +0 = minsub" 1 (T.next_up 0);
+  Alcotest.(check int) "next_up -0 = +minsub" 1 (T.next_up sign_bit);
+  Alcotest.(check int) "next_down +0 = -minsub" (sign_bit lor 1) (T.next_down 0);
+  Alcotest.(check int) "next_down -0 = -minsub" (sign_bit lor 1) (T.next_down sign_bit);
+  let pinf = 0xFF lsl 7 in
+  let ninf = sign_bit lor pinf in
+  Alcotest.(check int) "+inf saturates" pinf (T.next_up pinf);
+  Alcotest.(check int) "-inf saturates" ninf (T.next_down ninf);
+  Alcotest.(check int) "down from +inf = max finite" (pinf - 1) (T.next_down pinf);
+  Alcotest.(check int) "up from -inf = -max finite" (ninf - 1) (T.next_up ninf)
+
+(* ------------------------------------------------------------------ *)
 (* float32: hardware vs exact rational rounding.                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,6 +214,20 @@ let () =
           Alcotest.test_case "extremes" `Quick test_fp32_extremes;
         ] );
       qsuite "float32-properties" [ prop_fp32_hw_vs_exact; prop_fp32_roundtrip ];
+      ( "next-up-down",
+        [
+          Alcotest.test_case "subnormal/normal boundary" `Quick test_next_boundary;
+          Alcotest.test_case "zeros and infinities" `Quick test_next_zeros_and_infs;
+        ] );
+      qsuite "next-up-down-properties"
+        [
+          prop_next_inverse (module Fp.Bfloat16) Fp.Bfloat16.next_up Fp.Bfloat16.next_down
+            "bfloat16 next_down inverts next_up";
+          prop_next_inverse (module Fp.Float16) Fp.Float16.next_up Fp.Float16.next_down
+            "float16 next_down inverts next_up";
+          prop_next_monotone (module Fp.Bfloat16) Fp.Bfloat16.next_up "bfloat16 next_up monotone";
+          prop_next_monotone (module Fp.Float16) Fp.Float16.next_up "float16 next_up monotone";
+        ];
       ( "fp64",
         [
           Alcotest.test_case "next_up/down" `Quick test_fp64_next;

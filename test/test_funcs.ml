@@ -14,11 +14,11 @@ let st = rand 8
 (* ------------------------------------------------------------------ *)
 
 let test_constants () =
-  Alcotest.(check (float 0.0)) "ln2" (Float.log 2.0) (Lazy.force Funcs.Tables.ln2_d);
-  Alcotest.(check (float 0.0)) "pi" Float.pi (Lazy.force Funcs.Tables.pi_d);
-  Alcotest.(check (float 0.0)) "log10(2)" (Float.log10 2.0) (Lazy.force Funcs.Tables.log10_2_d);
+  Alcotest.(check (float 0.0)) "ln2" (Float.log 2.0) (Parallel.Once.get Funcs.Tables.ln2_d);
+  Alcotest.(check (float 0.0)) "pi" Float.pi (Parallel.Once.get Funcs.Tables.pi_d);
+  Alcotest.(check (float 0.0)) "log10(2)" (Float.log10 2.0) (Parallel.Once.get Funcs.Tables.log10_2_d);
   (* Cody-Waite split reconstructs the constant to ~2^-85. *)
-  let cw = Lazy.force Funcs.Tables.ln2_over_64 in
+  let cw = Parallel.Once.get Funcs.Tables.ln2_over_64 in
   let exact = Q.mul_pow2 (Oracle.Bigfloat.to_rational (E.ln2 ~prec:140)) (-6) in
   let err = Q.abs (Q.sub (Q.add (Q.of_float cw.hi) (Q.of_float cw.lo)) exact) in
   Alcotest.(check bool) "cw sum accuracy" true (Q.compare err (Q.of_pow2 (-85)) < 0);
@@ -34,14 +34,14 @@ let test_pow2 () =
   done
 
 let test_table_spot_values () =
-  Alcotest.(check (float 0.0)) "2^(0/64)" 1.0 (Lazy.force Funcs.Tables.exp2_j).(0);
-  Alcotest.(check (float 0.0)) "2^(32/64)" (Float.sqrt 2.0) (Lazy.force Funcs.Tables.exp2_j).(32);
-  Alcotest.(check (float 0.0)) "ln(1)" 0.0 (Lazy.force Funcs.Tables.ln_f).(0);
-  Alcotest.(check (float 0.0)) "log2(1.5)" (Float.log2 1.5) (Lazy.force Funcs.Tables.log2_f).(64);
-  Alcotest.(check (float 0.0)) "sinpi(0)" 0.0 (Lazy.force Funcs.Tables.sinpi_n).(0);
-  Alcotest.(check (float 0.0)) "cospi(0)" 1.0 (Lazy.force Funcs.Tables.cospi_n).(0);
-  Alcotest.(check (float 0.0)) "sinpi(256/512)" 1.0 (Lazy.force Funcs.Tables.sinpi_n).(256);
-  Alcotest.(check (float 0.0)) "cospi(256/512)" 0.0 (Lazy.force Funcs.Tables.cospi_n).(256)
+  Alcotest.(check (float 0.0)) "2^(0/64)" 1.0 (Parallel.Once.get Funcs.Tables.exp2_j).(0);
+  Alcotest.(check (float 0.0)) "2^(32/64)" (Float.sqrt 2.0) (Parallel.Once.get Funcs.Tables.exp2_j).(32);
+  Alcotest.(check (float 0.0)) "ln(1)" 0.0 (Parallel.Once.get Funcs.Tables.ln_f).(0);
+  Alcotest.(check (float 0.0)) "log2(1.5)" (Float.log2 1.5) (Parallel.Once.get Funcs.Tables.log2_f).(64);
+  Alcotest.(check (float 0.0)) "sinpi(0)" 0.0 (Parallel.Once.get Funcs.Tables.sinpi_n).(0);
+  Alcotest.(check (float 0.0)) "cospi(0)" 1.0 (Parallel.Once.get Funcs.Tables.cospi_n).(0);
+  Alcotest.(check (float 0.0)) "sinpi(256/512)" 1.0 (Parallel.Once.get Funcs.Tables.sinpi_n).(256);
+  Alcotest.(check (float 0.0)) "cospi(256/512)" 0.0 (Parallel.Once.get Funcs.Tables.cospi_n).(256)
 
 (* ------------------------------------------------------------------ *)
 (* Reduction exactness and reconstruction properties.                  *)

@@ -143,6 +143,45 @@ let test_p16_order_exhaustive () =
   in
   walk by_key
 
+(* ------------------------------------------------------------------ *)
+(* Codec round-trip and saturation properties (qcheck).                *)
+(* ------------------------------------------------------------------ *)
+
+(* decode∘encode = id on every finite pattern: going out to the exact
+   double value and rounding back must reproduce the pattern bits. *)
+let prop_pattern_roundtrip (module P : R.S) nbits name =
+  QCheck.Test.make ~name ~count:20000 QCheck.unit (fun () ->
+      let pat = Random.State.int st (1 lsl nbits) in
+      match P.classify pat with
+      | R.Nan -> true
+      | R.Inf _ -> false (* posits have no infinities *)
+      | R.Finite ->
+          P.of_double (P.to_double pat) = pat
+          && (pat = 0 || P.round_rational (P.to_rational pat) = pat))
+
+let prop_p8_pattern_roundtrip =
+  prop_pattern_roundtrip (module Posit.Posit8) 8 "posit8 decode∘encode = id"
+
+let prop_p16_pattern_roundtrip =
+  prop_pattern_roundtrip (module Posit.Posit16) 16 "posit16 decode∘encode = id"
+
+(* Saturation at the extremes: magnitudes past maxpos round to maxpos
+   (never NaR or a wrapped pattern), nonzero magnitudes below minpos
+   round to minpos (never to zero). *)
+let prop_saturation (module P : R.S) nbits name =
+  let maxpos = (1 lsl (nbits - 1)) - 1 and nar = 1 lsl (nbits - 1) in
+  QCheck.Test.make ~name ~count:5000 QCheck.unit (fun () ->
+      let huge = Float.ldexp (1.0 +. Random.State.float st 1.0) (Random.State.int st 300 + 300) in
+      let tiny = Float.ldexp (1.0 +. Random.State.float st 1.0) (-(Random.State.int st 300 + 300)) in
+      P.of_double huge = maxpos
+      && P.of_double (-.huge) = (1 lsl nbits) - maxpos
+      && P.of_double tiny = 1
+      && P.of_double (-.tiny) = (1 lsl nbits) - 1
+      && P.of_double Float.nan = nar)
+
+let prop_p8_saturation = prop_saturation (module Posit.Posit8) 8 "posit8 saturation at extremes"
+let prop_p16_saturation = prop_saturation (module Posit.Posit16) 16 "posit16 saturation at extremes"
+
 let () =
   Alcotest.run "posit"
     [
@@ -161,4 +200,6 @@ let () =
         ] );
       qsuite "properties"
         [ prop_p32_roundtrip; prop_p32_of_double_exact; prop_p32_monotone; prop_p16_vs_p32_precision ];
+      qsuite "codec-roundtrip-properties"
+        [ prop_p8_pattern_roundtrip; prop_p16_pattern_roundtrip; prop_p8_saturation; prop_p16_saturation ];
     ]
