@@ -4,10 +4,12 @@
 #                     16-bit subsets, engine determinism at jobs 1/2/4)
 #   make check-full   fast tier + @exhaustive (every bfloat16/float16
 #                     input of the differential suite, RLIBM_EXHAUSTIVE=1)
+#   make bench-json   exact-arithmetic + generator benches, results
+#                     written to BENCH_<rev>.json
 #
 # RLIBM_JOBS=<n> controls worker domains for the sharded passes.
 
-.PHONY: all build check-fast check-full bench clean
+.PHONY: all build check-fast check-full bench bench-json clean
 
 all: build
 
@@ -22,6 +24,9 @@ check-full: check-fast
 
 bench: build
 	dune exec bench/main.exe
+
+bench-json: build
+	dune exec bench/main.exe -- --json bigint rational gen
 
 clean:
 	dune clean

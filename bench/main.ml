@@ -406,12 +406,264 @@ let par () =
         [ 1; 2; 4; 8 ];
       Parallel.set_jobs 1
 
+(* ------------------------------------------------------------------ *)
+(* Exact-arithmetic microbenchmarks: the two-tier Bigint vs the frozen  *)
+(* naive reference retained in test/util, and the Rational fast paths.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Collected metrics for the --json report. *)
+let metrics : (string * float) list ref = ref []
+let record k v = metrics := (k, v) :: !metrics
+
+(* Both the live [Bigint] and the frozen [Test_util.Ref] reference
+   satisfy this slice of the interface, so every workload below is
+   written once and timed against both. *)
+module type BI = sig
+  type t
+  val zero : t
+  val of_int : int -> t
+  val of_string : string -> t
+  val to_string : t -> string
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val divmod : t -> t -> t * t
+  val gcd : t -> t -> t
+  val compare : t -> t -> int
+  val sign : t -> int
+  val shift_left : t -> int -> t
+end
+
+(* Deterministic 62-bit-ish stream (splitmix-style), so both modules see
+   the same operands. *)
+let mix64 i =
+  let z = (i + 0x9E3779B9) * 0xBF58476D land max_int in
+  let z = (z lxor (z lsr 27)) * 0x94D049BB land max_int in
+  z lxor (z lsr 31)
+
+(* The mixed small-operand workload the oracle's reductions generate:
+   magnitudes spread over 2^4..2^60, one add/sub/mul/divmod/compare per
+   pair.  On the two-tier representation every op stays on the fixnum
+   path; the naive reference allocates limb arrays throughout. *)
+let bigint_small (module M : BI) =
+  let n = 512 in
+  let xs =
+    Array.init n (fun i ->
+        let v = mix64 i land ((1 lsl (4 + (i mod 14 * 4))) - 1) in
+        M.of_int (if i land 1 = 0 then v else -v))
+  in
+  Staged.stage (fun () ->
+      let acc = ref 0 in
+      for i = 0 to n - 2 do
+        let a = xs.(i) and b = xs.(i + 1) in
+        acc := !acc + M.sign (M.add a b) + M.sign (M.sub a b) + M.sign (M.mul a b);
+        if M.sign b <> 0 then begin
+          let q, r = M.divmod a b in
+          acc := !acc + M.sign q + M.sign r
+        end;
+        acc := !acc + M.compare a b
+      done;
+      !acc)
+
+(* Wide operands: [limbs30] chunks of 30 bits each (local to each
+   workload so the packed module's type does not escape). *)
+let bigint_mul_wide (module M : BI) =
+  let st = Random.State.make [| 7 |] in
+  let wide limbs30 =
+    let x = ref M.zero in
+    for _ = 1 to limbs30 do
+      x := M.add (M.shift_left !x 30) (M.of_int (Random.State.full_int st (1 lsl 30)))
+    done;
+    !x
+  in
+  let a = wide 135 and b = wide 135 in
+  Staged.stage (fun () -> M.sign (M.mul a b))
+
+let bigint_gcd_wide (module M : BI) =
+  let st = Random.State.make [| 11 |] in
+  let wide limbs30 =
+    let x = ref M.zero in
+    for _ = 1 to limbs30 do
+      x := M.add (M.shift_left !x 30) (M.of_int (Random.State.full_int st (1 lsl 30)))
+    done;
+    !x
+  in
+  let g = wide 10 in
+  let a = M.mul g (wide 20) and b = M.mul g (wide 20) in
+  Staged.stage (fun () -> M.sign (M.gcd a b))
+
+let bigint_of_string (module M : BI) =
+  let st = Random.State.make [| 13 |] in
+  let wide limbs30 =
+    let x = ref M.zero in
+    for _ = 1 to limbs30 do
+      x := M.add (M.shift_left !x 30) (M.of_int (Random.State.full_int st (1 lsl 30)))
+    done;
+    !x
+  in
+  let s = M.to_string (wide 120) in
+  Staged.stage (fun () -> M.sign (M.of_string s))
+
+let bigint () =
+  pr_header "BIGINT: two-tier fixnum/Karatsuba vs retained naive reference";
+  Printf.printf "%-22s %12s %12s %9s\n" "workload" "new(ns)" "naive(ns)" "speedup";
+  let live = (module Bigint : BI) and naive = (module Test_util.Ref : BI) in
+  List.iter
+    (fun (name, mk) ->
+      let t_new = measure_ns (mk live) and t_old = measure_ns (mk naive) in
+      record (Printf.sprintf "bigint.%s.new_ns" name) t_new;
+      record (Printf.sprintf "bigint.%s.naive_ns" name) t_old;
+      record (Printf.sprintf "bigint.%s.speedup" name) (t_old /. t_new);
+      Printf.printf "%-22s %12.0f %12.0f %8.2fx\n%!" name t_new t_old (t_old /. t_new))
+    [
+      ("mixed_small(512)", bigint_small);
+      ("mul_4050bit", bigint_mul_wide);
+      ("gcd_shared_factor", bigint_gcd_wide);
+      ("of_string_1080digit", bigint_of_string);
+    ]
+
+module Q = Rational
+module BB = Bigint
+
+let rational () =
+  pr_header "RATIONAL: dyadic fast paths (ns per 256-op batch)";
+  let st = Random.State.make [| 17 |] in
+  let n = 256 in
+  (* Dyadic rationals as the oracle produces them: double significands
+     over many binades. *)
+  let dy =
+    Array.init n (fun _ ->
+        let m = Random.State.float st 2.0 -. 1.0 in
+        Q.of_float (Float.ldexp m (Random.State.int st 200 - 100)))
+  in
+  let t_add =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to n - 2 do
+             acc := !acc + Q.sign (Q.add dy.(i) dy.(i + 1))
+           done;
+           !acc))
+  in
+  (* Near-equal pairs: fast-path compare vs the textbook cross-multiply. *)
+  let eps = Q.of_pow2 (-130) in
+  let pairs = Array.map (fun a -> (a, Q.add a eps)) dy in
+  let t_cmp =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Array.iter (fun (a, b) -> acc := !acc + Q.compare a b + Q.compare b a) pairs;
+           !acc))
+  in
+  let t_cmp_slow =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Array.iter
+             (fun (a, b) ->
+               let s a b = BB.compare (BB.mul (Q.num a) (Q.den b)) (BB.mul (Q.num b) (Q.den a)) in
+               acc := !acc + s a b + s b a)
+             pairs;
+           !acc))
+  in
+  (* Magnitude-spread pairs: the bit-length bracket decides without
+     touching the numerators (the common case in LP pivoting). *)
+  let spread = Array.map (fun a -> (a, Q.mul_pow2 a 3)) dy in
+  let t_cmp_spread =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Array.iter (fun (a, b) -> acc := !acc + Q.compare a b + Q.compare b a) spread;
+           !acc))
+  in
+  let t_cmp_spread_slow =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           Array.iter
+             (fun (a, b) ->
+               let s a b = BB.compare (BB.mul (Q.num a) (Q.den b)) (BB.mul (Q.num b) (Q.den a)) in
+               acc := !acc + s a b + s b a)
+             spread;
+           !acc))
+  in
+  (* Non-dyadic normalization: make with a gcd to strip. *)
+  let t_make =
+    measure_ns
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for i = 0 to n - 1 do
+             let k = (i mod 40) + 2 in
+             acc := !acc + Q.sign (Q.of_ints ((i * 6) + 2) (k * 3))
+           done;
+           !acc))
+  in
+  record "rational.add_dyadic_ns" t_add;
+  record "rational.compare_near_equal_ns" t_cmp;
+  record "rational.compare_near_equal_cross_multiply_ns" t_cmp_slow;
+  record "rational.compare_spread_ns" t_cmp_spread;
+  record "rational.compare_spread_cross_multiply_ns" t_cmp_spread_slow;
+  record "rational.make_gcd_ns" t_make;
+  Printf.printf "add (dyadic chain):        %10.0f ns\n" t_add;
+  Printf.printf "compare (near-equal):      %10.0f ns  vs cross-multiply %10.0f ns (%.2fx)\n"
+    t_cmp t_cmp_slow (t_cmp_slow /. t_cmp);
+  Printf.printf "compare (spread brackets): %10.0f ns  vs cross-multiply %10.0f ns (%.2fx)\n"
+    t_cmp_spread t_cmp_spread_slow (t_cmp_spread_slow /. t_cmp_spread);
+  Printf.printf "make (gcd normalization):  %10.0f ns\n%!" t_make
+
+(* End-to-end generator wall-clock: the oracle and LP sit on Bigint and
+   Rational, so the two-tier work shows up here. *)
+let gen () =
+  pr_header "GEN: end-to-end table generation wall-clock (bfloat16, Quick enumeration)";
+  let t = Funcs.Specs.bfloat16 in
+  List.iter
+    (fun name ->
+      let spec = Funcs.Specs.by_name name t in
+      let t0 = Unix.gettimeofday () in
+      match
+        Rlibm.Generator.generate ~cfg:Rlibm.Config.default spec
+          ~patterns:(Funcs.Libm.enumeration t Funcs.Libm.Quick)
+      with
+      | Error msg -> Printf.printf "%-7s FAILED: %s\n%!" name msg
+      | Ok _ ->
+          let wall = Unix.gettimeofday () -. t0 in
+          record (Printf.sprintf "gen.bfloat16_%s_s" name) wall;
+          Printf.printf "%-7s %8.2f s\n%!" name wall)
+    [ "log2"; "exp2" ]
+
+let write_json () =
+  let rev =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let r = try input_line ic with End_of_file -> "unknown" in
+      ignore (Unix.close_process_in ic);
+      r
+    with _ -> "unknown"
+  in
+  let file = Printf.sprintf "BENCH_%s.json" rev in
+  let oc = open_out file in
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+    rev (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+    tm.Unix.tm_min tm.Unix.tm_sec;
+  Printf.fprintf oc "  \"metrics\": {\n";
+  let entries = List.rev !metrics in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    %S: %.3f%s\n" k v (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d metrics)\n%!" file (List.length entries)
+
 let () =
   Printf.printf "RLIBM-32 reproduction benchmarks (see EXPERIMENTS.md for the paper mapping)\n";
   Printf.printf "Correctness tables: dune exec bin/check.exe -- table1 | table2\n";
   Printf.printf "Generator table:    dune exec bin/generate.exe -- stats\n%!";
-  let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  let want s = match only with None -> true | Some o -> String.lowercase_ascii o = s in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let sections = List.filter (fun a -> a <> "--json") args |> List.map String.lowercase_ascii in
+  let want s = sections = [] || List.mem s sections in
   if want "fig3" then fig3 ();
   if want "fig4" then fig4 ();
   if want "fig5" then fig5 ();
@@ -420,4 +672,8 @@ let () =
     ablation_structure ()
   end;
   if want "vec" then vec ();
-  if want "par" then par ()
+  if want "par" then par ();
+  if want "bigint" then bigint ();
+  if want "rational" then rational ();
+  if want "gen" then gen ();
+  if json then write_json ()

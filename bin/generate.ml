@@ -69,6 +69,48 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
     Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
 
+(* Bit-exact dump of the generated tables: every coefficient and scheme
+   word as hex bits.  Diffing two dumps proves (or refutes) that a
+   change to the exact-arithmetic substrate left the generated artifact
+   bit-identical — the determinism contract CI leans on. *)
+let dump jobs targets quality fns =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
+  List.iter
+    (fun tname ->
+      let t = target_of tname in
+      let names = if fns = [] then names_for t else fns in
+      List.iter
+        (fun name ->
+          match Funcs.Libm.get ~quality t name with
+          | exception Failure msg -> Printf.printf "%s %s FAILED: %s\n%!" name t.tname msg
+          | g ->
+              Printf.printf "%s %s\n" name t.tname;
+              Array.iteri
+                (fun pi (pw : Rlibm.Piecewise.t) ->
+                  Printf.printf "piece %d terms %s\n" pi
+                    (String.concat ","
+                       (Array.to_list (Array.map string_of_int pw.terms)));
+                  let group label = function
+                    | None -> Printf.printf "%s none\n" label
+                    | Some (grp : Rlibm.Piecewise.group) ->
+                        let s = grp.scheme in
+                        Printf.printf "%s nbits %d shift %d lo %Lx hi %Lx\n" label s.nbits
+                          s.shift s.lo_bits s.hi_bits;
+                        Array.iteri
+                          (fun i c -> Printf.printf "  c%d %Lx\n" i (Int64.bits_of_float c))
+                          grp.coeffs
+                  in
+                  group "neg" pw.neg;
+                  group "pos" pw.pos)
+                g.Rlibm.Generator.pieces)
+        names)
+    targets
+
+let dump_cmd =
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Bit-exact hex dump of the generated tables (for determinism diffs)")
+    Term.(const dump $ jobs_term $ targets_term $ quality_term $ funcs_term)
+
 let () =
   let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
   exit
@@ -76,4 +118,4 @@ let () =
        (Cmd.group
           ~default:
             Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
-          info [ stats_cmd ]))
+          info [ stats_cmd; dump_cmd ]))

@@ -4,8 +4,14 @@
     exact rationals used by the LP solver ({!Rational}) and the
     arbitrary-precision binary floats used by the oracle
     ({!Oracle.Bigfloat}) are both built on it.  The representation is
-    sign-magnitude with little-endian limbs in base [2^31], so every limb
-    product fits in OCaml's native 63-bit [int] without overflow. *)
+    two-tier: values whose magnitude fits 62 bits live in a native [int]
+    (no allocation, overflow-checked fast paths on every operation), and
+    only wider values spill into sign-magnitude little-endian limb
+    arrays in base [2^31], where every limb product fits the native
+    63-bit [int] without overflow.  Limb multiplication switches to
+    Karatsuba above an internal threshold.  The representation is
+    canonical, so structural equality coincides with numeric equality;
+    see DESIGN.md for the tier invariants. *)
 
 type t
 
@@ -55,6 +61,14 @@ val testbit : t -> int -> bool
 (** [is_even t] holds when the magnitude of [t] is even. *)
 val is_even : t -> bool
 
+(** [is_pow2 t] holds when [t] is [2^k] for some [k >= 0]. *)
+val is_pow2 : t -> bool
+
+(** [low_bits_nonzero t k] holds when the magnitude of [t] has a set bit
+    strictly below position [k] — the sticky test of round-to-nearest,
+    without materializing the low part.  False for [k <= 0]. *)
+val low_bits_nonzero : t -> int -> bool
+
 (** {1 Arithmetic} *)
 
 val neg : t -> t
@@ -76,6 +90,11 @@ val shift_left : t -> int -> t
 
 (** [shift_right t k] is [t / 2^k] truncated towards zero; [k >= 0]. *)
 val shift_right : t -> int -> t
+
+(** [shift_add a k b] is [a * 2^k + b] ([k >= 0]), fused into a single
+    pass when the signs agree — the mantissa-alignment step of
+    {!Oracle.Bigfloat} addition. *)
+val shift_add : t -> int -> t -> t
 
 (** [pow t k] is [t^k] for [k >= 0]. *)
 val pow : t -> int -> t

@@ -31,13 +31,14 @@ let of_dyadic q =
   let d = Rational.den q in
   if B.is_zero (Rational.num q) then zero
   else begin
-    (* A normalized denominator that is a power of two has a single set bit. *)
-    let k = B.trailing_zeros d in
-    if not (B.equal d (B.shift_left B.one k)) then invalid_arg "Bigfloat.of_dyadic: not dyadic";
-    make (Rational.num q) (-k)
+    if not (B.is_pow2 d) then invalid_arg "Bigfloat.of_dyadic: not dyadic";
+    make (Rational.num q) (-B.trailing_zeros d)
   end
 
-(* Round the mantissa to [prec] bits, nearest-even. *)
+(* Round the mantissa to [prec] bits, nearest-even.  The sticky test is
+   a limb scan ([low_bits_nonzero]), not a materialized low part: round
+   is on every [add]/[mul] of the Ziv loop, so it must not allocate
+   beyond the head itself. *)
 let round ~prec t =
   if is_zero t then t
   else begin
@@ -48,8 +49,10 @@ let round ~prec t =
       let a = B.abs t.m in
       let head = B.shift_right a sh in
       let rnd = B.testbit a (sh - 1) in
-      let low = B.sub a (B.shift_left (B.shift_right a (sh - 1)) (sh - 1)) in
-      let head = if rnd && ((not (B.is_zero low)) || not (B.is_even head)) then B.add head B.one else head in
+      let head =
+        if rnd && (B.low_bits_nonzero a (sh - 1) || not (B.is_even head)) then B.add head B.one
+        else head
+      in
       let head = if B.sign t.m < 0 then B.neg head else head in
       make head (t.e + sh)
     end
@@ -94,11 +97,11 @@ let add ~prec a b =
       (* The small operand is far below the rounding precision: fold it
          into a sticky nudge one bit below the working width. *)
       let sh = prec + 8 in
-      let wide = B.shift_left hi.m sh in
       let nudge = if B.sign lo.m >= 0 then B.one else B.minus_one in
-      round ~prec (make (B.add wide nudge) (hi.e - sh))
+      round ~prec (make (B.shift_add hi.m sh nudge) (hi.e - sh))
     end
-    else round ~prec (make (B.add (B.shift_left hi.m gap) lo.m) lo.e)
+    (* Fused alignment: (hi.m << gap) + lo.m in one pass. *)
+    else round ~prec (make (B.shift_add hi.m gap lo.m) lo.e)
   end
 
 let sub ~prec a b = add ~prec a (neg b)

@@ -221,11 +221,7 @@ let ln_approx ~wp x =
   let a = atanh_series ~wp (F.of_rational ~prec:wp z) in
   F.add ~prec:wp (F.mul_pow2 a 1) (F.mul_int ~prec:wp (ln2 ~prec:wp) e)
 
-let is_pow2 x =
-  Q.sign x > 0
-  &&
-  let n = Q.num x in
-  B.equal n (B.shift_left B.one (B.trailing_zeros n))
+let is_pow2 x = Q.sign x > 0 && B.is_pow2 (Q.num x)
 
 let ln ~prec x = if Q.equal x Q.one then Exact Q.zero else Approx (ln_approx ~wp:(wp_of prec) x)
 

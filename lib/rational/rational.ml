@@ -10,6 +10,14 @@ let of_int n = of_bigint (B.of_int n)
 let one = of_int 1
 let minus_one = of_int (-1)
 
+(* [num / 2^k] normalized. *)
+let make_dyadic num k =
+  if B.is_zero num then zero
+  else begin
+    let s = Stdlib.min k (B.trailing_zeros num) in
+    { n = B.shift_right num s; d = B.shift_left B.one (k - s) }
+  end
+
 let make num den =
   if B.is_zero den then raise Division_by_zero;
   if B.is_zero num then zero
@@ -20,11 +28,7 @@ let make num den =
        solver touches — normalization is a shift, not a gcd.  This keeps
        exact simplex pivots cheap (the general binary gcd on wide
        entries would otherwise dominate them). *)
-    let dz = B.trailing_zeros den in
-    if B.equal den (B.shift_left B.one dz) then begin
-      let s = Stdlib.min dz (B.trailing_zeros num) in
-      { n = B.shift_right num s; d = B.shift_left B.one (dz - s) }
-    end
+    if B.is_pow2 den then make_dyadic num (B.trailing_zeros den)
     else begin
       let g = B.gcd num den in
       if B.equal g B.one then { n = num; d = den } else { n = B.div num g; d = B.div den g }
@@ -42,10 +46,24 @@ let abs t = { t with n = B.abs t.n }
 
 let add a b =
   if B.equal a.d b.d then make (B.add a.n b.n) a.d
+  else if B.is_pow2 a.d && B.is_pow2 b.d then begin
+    (* Dyadic + dyadic: align on the larger denominator with one fused
+       shift-add — no cross products, no gcd.  This is the shape of
+       every Bigfloat <-> Rational exchange and of the rounding-interval
+       endpoints the oracle and LP trade in. *)
+    let ka = B.trailing_zeros a.d and kb = B.trailing_zeros b.d in
+    if ka >= kb then make_dyadic (B.shift_add b.n (ka - kb) a.n) ka
+    else make_dyadic (B.shift_add a.n (kb - ka) b.n) kb
+  end
   else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
 
 let sub a b = add a (neg b)
-let mul a b = make (B.mul a.n b.n) (B.mul a.d b.d)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else if B.is_pow2 a.d && B.is_pow2 b.d then
+    make_dyadic (B.mul a.n b.n) (B.trailing_zeros a.d + B.trailing_zeros b.d)
+  else make (B.mul a.n b.n) (B.mul a.d b.d)
 
 let inv t =
   if is_zero t then raise Division_by_zero;
@@ -54,8 +72,30 @@ let inv t =
 let div a b = mul a (inv b)
 
 let compare a b =
-  (* Cross-multiply; denominators are positive by invariant. *)
-  B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+  (* Signs first, then magnitude brackets from bit lengths, and only
+     cross-multiply when the brackets overlap.  With [bn = bit_length n]
+     and [bd = bit_length d], |n/d| lies in (2^(bn-bd-1), 2^(bn-bd+1)),
+     so a gap of two decides without any multiplication — the common
+     case for the LP ratio tests, whose candidates span many binades. *)
+  let sa = B.sign a.n and sb = B.sign b.n in
+  if sa <> sb then Stdlib.compare sa sb
+  else if sa = 0 then 0
+  else begin
+    (* Bit lengths are O(1); the equal-denominator walk is O(limbs), so
+       it only runs once the brackets overlap. *)
+    let ea = B.bit_length a.n - B.bit_length a.d and eb = B.bit_length b.n - B.bit_length b.d in
+    if ea >= eb + 2 then sa
+    else if eb >= ea + 2 then -sa
+    else if B.equal a.d b.d then B.compare a.n b.n
+    else if B.is_pow2 a.d && B.is_pow2 b.d then begin
+      (* Dyadic pair: the cross products are shifts, and only the
+         exponent difference needs materializing. *)
+      let ka = B.trailing_zeros a.d and kb = B.trailing_zeros b.d in
+      if ka >= kb then B.compare a.n (B.shift_left b.n (ka - kb))
+      else B.compare (B.shift_left a.n (kb - ka)) b.n
+    end
+    else B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+  end
 
 let equal a b = B.equal a.n b.n && B.equal a.d b.d
 let min a b = if compare a b <= 0 then a else b

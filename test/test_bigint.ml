@@ -67,6 +67,69 @@ let test_to_float () =
     (Float.ldexp 1.0 53 +. 4.0)
     (B.to_float (B.add (B.shift_left B.one 53) (B.of_int 3)))
 
+(* Tier-boundary unit coverage: values around the 62-bit fixnum edge. *)
+let test_fixnum_boundary () =
+  let p62 = B.shift_left B.one 62 in
+  check "max_int + 1 = 2^62" p62 (B.add (B.of_int max_int) B.one);
+  check "2^62 - 1 = max_int" (B.of_int max_int) (B.sub p62 B.one);
+  Alcotest.(check (option int)) "to_int max_int" (Some max_int) (B.to_int (B.of_int max_int));
+  Alcotest.(check (option int)) "to_int 2^62" None (B.to_int p62);
+  check "neg min_int" p62 (B.neg (B.of_int min_int));
+  check "min_int = -2^62" (B.neg p62) (B.of_int min_int);
+  check "min_int via add" (B.of_int min_int)
+    (B.add (B.of_int (-(1 lsl 61))) (B.of_int (-(1 lsl 61))));
+  check "mul overflow" (B.shift_left B.one 62) (B.mul (B.shift_left B.one 31) (B.shift_left B.one 31));
+  Alcotest.(check string) "to_string max_int" (string_of_int max_int) (B.to_string (B.of_int max_int));
+  Alcotest.(check string) "to_string min_int" (string_of_int min_int) (B.to_string (B.of_int min_int));
+  check "of_string min_int" (B.of_int min_int) (B.of_string (string_of_int min_int));
+  (* Narrowing re-enters the fixnum tier and stays canonical for
+     structural equality. *)
+  Alcotest.(check bool) "narrowed = fixnum" true
+    (B.sub p62 (B.of_int 1) = B.of_int max_int);
+  Alcotest.(check int) "bit_length max_int" 62 (B.bit_length (B.of_int max_int));
+  Alcotest.(check int) "bit_length 2^62" 63 (B.bit_length p62)
+
+let test_new_queries () =
+  Alcotest.(check bool) "is_pow2 1" true (B.is_pow2 B.one);
+  Alcotest.(check bool) "is_pow2 2^100" true (B.is_pow2 (B.shift_left B.one 100));
+  Alcotest.(check bool) "is_pow2 3*2^100" false (B.is_pow2 (B.shift_left (B.of_int 3) 100));
+  Alcotest.(check bool) "is_pow2 0" false (B.is_pow2 B.zero);
+  Alcotest.(check bool) "is_pow2 -4" false (B.is_pow2 (B.of_int (-4)));
+  Alcotest.(check bool) "low_bits 12 k=2" false (B.low_bits_nonzero (B.of_int 12) 2);
+  Alcotest.(check bool) "low_bits 12 k=3" true (B.low_bits_nonzero (B.of_int 12) 3);
+  Alcotest.(check bool) "low_bits 2^80 k=80" false (B.low_bits_nonzero (B.shift_left B.one 80) 80);
+  Alcotest.(check bool) "low_bits 2^80+2 k=80" true
+    (B.low_bits_nonzero (B.add (B.shift_left B.one 80) B.two) 80);
+  check "shift_add" (B.of_int 83) (B.shift_add (B.of_int 10) 3 (B.of_int 3));
+  check "shift_add mixed sign" (B.of_int 77) (B.shift_add (B.of_int 10) 3 (B.of_int (-3)))
+
+(* Exhaustive small-operand differential sweep against the naive
+   reference: every pair in [-40, 40]. *)
+let test_exhaustive_small_diff () =
+  for a = -40 to 40 do
+    for b = -40 to 40 do
+      let ba = B.of_int a and bb = B.of_int b in
+      let ra = Ref.of_int a and rb = Ref.of_int b in
+      let chk tag x y =
+        if not (ref_eq x y) then
+          Alcotest.failf "%s (%d, %d): %s vs %s" tag a b (B.to_string x) (Ref.to_string y)
+      in
+      chk "add" (B.add ba bb) (Ref.add ra rb);
+      chk "sub" (B.sub ba bb) (Ref.sub ra rb);
+      chk "mul" (B.mul ba bb) (Ref.mul ra rb);
+      chk "gcd" (B.gcd ba bb) (Ref.gcd ra rb);
+      Alcotest.(check int)
+        (Printf.sprintf "compare (%d, %d)" a b)
+        (Ref.compare ra rb) (B.compare ba bb);
+      if b <> 0 then begin
+        let q, r = B.divmod ba bb in
+        let q', r' = Ref.divmod ra rb in
+        chk "div" q q';
+        chk "rem" r r'
+      end
+    done
+  done
+
 (* Property tests. *)
 let prop_divmod =
   QCheck.Test.make ~name:"divmod invariant" ~count:2000 QCheck.unit (fun () ->
@@ -109,6 +172,77 @@ let prop_to_float_small =
       let n = if Random.State.bool st then -n else n in
       B.to_float (B.of_int n) = float_of_int n)
 
+(* Differential properties against the naive reference.  Operand widths
+   deliberately straddle the two representation thresholds: the 62-bit
+   fixnum/limb edge and the Karatsuba cutover (24 limbs = 744 bits). *)
+
+let straddle_62 st = 40 + Random.State.int st 50 (* 40..89 bits *)
+let straddle_kara st = 500 + Random.State.int st 1300 (* 500..1799 bits *)
+
+let prop_diff_ring_62 =
+  QCheck.Test.make ~name:"diff vs naive: add/sub/mul near 62-bit edge" ~count:1500 QCheck.unit
+    (fun () ->
+      let a, a' = bigint_pair ~exact:true st (straddle_62 st) in
+      let b, b' = bigint_pair st (straddle_62 st) in
+      ref_eq (B.add a b) (Ref.add a' b')
+      && ref_eq (B.sub a b) (Ref.sub a' b')
+      && ref_eq (B.mul a b) (Ref.mul a' b')
+      && B.compare a b = Ref.compare a' b')
+
+let prop_diff_divmod =
+  QCheck.Test.make ~name:"diff vs naive: divmod across tiers" ~count:800 QCheck.unit (fun () ->
+      let a, a' = bigint_pair st (40 + Random.State.int st 200) in
+      let b, b' = nonzero_bigint_pair st (20 + Random.State.int st 80) in
+      let q, r = B.divmod a b in
+      let q', r' = Ref.divmod a' b' in
+      ref_eq q q' && ref_eq r r')
+
+let prop_diff_mul_kara =
+  QCheck.Test.make ~name:"diff vs naive: Karatsuba-width products" ~count:60 QCheck.unit (fun () ->
+      let a, a' = bigint_pair ~exact:true st (straddle_kara st) in
+      let b, b' = bigint_pair ~exact:true st (straddle_kara st) in
+      ref_eq (B.mul a b) (Ref.mul a' b'))
+
+let prop_diff_mul_unbalanced =
+  QCheck.Test.make ~name:"diff vs naive: unbalanced wide products" ~count:60 QCheck.unit (fun () ->
+      let a, a' = bigint_pair ~exact:true st (1200 + Random.State.int st 800) in
+      let b, b' = bigint_pair ~exact:true st (100 + Random.State.int st 400) in
+      ref_eq (B.mul a b) (Ref.mul a' b'))
+
+let prop_diff_gcd =
+  QCheck.Test.make ~name:"diff vs naive: gcd mixed widths" ~count:150 QCheck.unit (fun () ->
+      (* Share a factor so the gcd is rarely 1. *)
+      let g, g' = nonzero_bigint_pair st (10 + Random.State.int st 60) in
+      let a, a' = nonzero_bigint_pair st (20 + Random.State.int st 300) in
+      let b, b' = nonzero_bigint_pair st (20 + Random.State.int st 300) in
+      ref_eq (B.gcd (B.mul g a) (B.mul g b)) (Ref.gcd (Ref.mul g' a') (Ref.mul g' b')))
+
+let prop_diff_string =
+  QCheck.Test.make ~name:"diff vs naive: of_string chunking" ~count:300 QCheck.unit (fun () ->
+      let a, a' = bigint_pair st (Random.State.int st 700) in
+      let s = Ref.to_string a' in
+      (* The chunked parser agrees with the naive one on the same
+         literal, with and without leading zeros / explicit sign. *)
+      let zero_padded =
+        if Ref.sign a' >= 0 then "000" ^ s else "-000" ^ String.sub s 1 (String.length s - 1)
+      in
+      B.equal a (B.of_string s) && B.equal a (B.of_string zero_padded)
+      && String.equal s (B.to_string a))
+
+let prop_shift_add =
+  QCheck.Test.make ~name:"shift_add = shift_left then add" ~count:800 QCheck.unit (fun () ->
+      let a = random_bigint st (Random.State.int st 200) in
+      let b = random_bigint st (Random.State.int st 200) in
+      let k = Random.State.int st 120 in
+      B.equal (B.shift_add a k b) (B.add (B.shift_left a k) b))
+
+let prop_low_bits =
+  QCheck.Test.make ~name:"low_bits_nonzero = rem by 2^k <> 0" ~count:800 QCheck.unit (fun () ->
+      let a = random_bigint st (Random.State.int st 200) in
+      let k = Random.State.int st 220 in
+      B.low_bits_nonzero a k
+      = not (B.is_zero (B.sub (B.abs a) (B.shift_left (B.shift_right (B.abs a) k) k))))
+
 let () =
   Alcotest.run "bigint"
     [
@@ -120,7 +254,21 @@ let () =
           Alcotest.test_case "shifts and bits" `Quick test_shifts;
           Alcotest.test_case "pow and gcd" `Quick test_pow_gcd;
           Alcotest.test_case "to_float rounding" `Quick test_to_float;
+          Alcotest.test_case "fixnum tier boundary" `Quick test_fixnum_boundary;
+          Alcotest.test_case "is_pow2/low_bits/shift_add" `Quick test_new_queries;
+          Alcotest.test_case "exhaustive small diff vs naive" `Quick test_exhaustive_small_diff;
         ] );
       qsuite "properties"
         [ prop_divmod; prop_ring; prop_string; prop_gcd; prop_shift; prop_to_float_small ];
+      qsuite "differential"
+        [
+          prop_diff_ring_62;
+          prop_diff_divmod;
+          prop_diff_mul_kara;
+          prop_diff_mul_unbalanced;
+          prop_diff_gcd;
+          prop_diff_string;
+          prop_shift_add;
+          prop_low_bits;
+        ];
     ]

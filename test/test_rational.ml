@@ -64,6 +64,71 @@ let test_ilog2_floor () =
   Alcotest.check bigint "round -5/2 away" (B.of_int (-3)) (Q.round_nearest (Q.of_ints (-5) 2));
   Alcotest.check bigint "round 7/3" (B.of_int 2) (Q.round_nearest (Q.of_ints 7 3))
 
+(* The compare fast path (sign, then bit-length brackets) must agree
+   with the textbook cross-multiplication on pairs built to be nearly
+   equal — same sign, same ilog2, differing only far down the
+   numerator — which is exactly where the bracket test cannot decide
+   and must hand over to the slow path. *)
+let slow_compare a b = B.compare (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a))
+
+let test_compare_adversarial () =
+  let q = Q.make (B.of_string "123456789123456789") (B.of_string "98765432123456789") in
+  List.iter
+    (fun k ->
+      (* eps = 1/(3 * 2^k): keeps the perturbed denominator non-dyadic. *)
+      let eps = Q.make B.one (B.shift_left (B.of_int 3) k) in
+      List.iter
+        (fun (a, b) ->
+          let want = slow_compare a b in
+          Alcotest.(check int)
+            (Printf.sprintf "near-equal k=%d" k)
+            want (Q.compare a b);
+          Alcotest.(check int)
+            (Printf.sprintf "near-equal swapped k=%d" k)
+            (-want) (Q.compare b a))
+        [
+          (q, Q.add q eps);
+          (q, Q.sub q eps);
+          (Q.neg q, Q.neg (Q.add q eps));
+          (Q.add q eps, Q.add q eps);
+        ])
+    [ 5; 60; 63; 120; 200 ];
+  (* Dyadic near-equal pairs exercise the shift-compare branch. *)
+  let d = Q.of_float 0.7853981633974483 in
+  let tiny = Q.of_pow2 (-140) in
+  Alcotest.(check int) "dyadic +eps" (slow_compare d (Q.add d tiny)) (Q.compare d (Q.add d tiny));
+  Alcotest.(check int) "dyadic -eps" (slow_compare d (Q.sub d tiny)) (Q.compare d (Q.sub d tiny));
+  Alcotest.(check int) "dyadic equal" 0 (Q.compare d (Q.of_float 0.7853981633974483))
+
+let prop_compare_fast_vs_slow =
+  QCheck.Test.make ~name:"compare fast path agrees with cross-multiply" ~count:2000 QCheck.unit
+    (fun () ->
+      let a = random_rational st 90 and b = random_rational st 90 in
+      (* Mix in adversarial near-equal pairs and scaled copies. *)
+      let b =
+        match Random.State.int st 4 with
+        | 0 -> Q.add a (Q.make B.one (B.shift_left (B.of_int 3) (60 + Random.State.int st 80)))
+        | 1 -> Q.sub a (Q.make B.one (B.shift_left (B.of_int 3) (60 + Random.State.int st 80)))
+        | 2 -> Q.mul_pow2 a (Random.State.int st 7 - 3)
+        | _ -> b
+      in
+      Q.compare a b = slow_compare a b
+      && Q.compare b a = slow_compare b a
+      && Q.compare a a = 0)
+
+let prop_add_dyadic_vs_general =
+  QCheck.Test.make ~name:"dyadic add fast path = cross-multiplied add" ~count:2000 QCheck.unit
+    (fun () ->
+      let x = random_double ~max_exp:200 st and y = random_double ~max_exp:200 st in
+      let a = Q.of_float x and b = Q.of_float y in
+      (* The general formula, normalized through make (gcd path). *)
+      let general =
+        Q.make
+          (B.add (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a)))
+          (B.mul (Q.den a) (Q.den b))
+      in
+      Q.equal (Q.add a b) general && Q.to_float (Q.add a b) = x +. y)
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"of_float/to_float roundtrip" ~count:5000 QCheck.unit (fun () ->
       let x = random_double ~max_exp:500 st in
@@ -108,7 +173,15 @@ let () =
           Alcotest.test_case "of_float exact" `Quick test_of_float_exact;
           Alcotest.test_case "to_float rounding" `Quick test_to_float_rounding;
           Alcotest.test_case "ilog2/floor/round" `Quick test_ilog2_floor;
+          Alcotest.test_case "compare fast path adversarial" `Quick test_compare_adversarial;
         ] );
       qsuite "properties"
-        [ prop_roundtrip; prop_field; prop_compare_to_float; prop_to_float_half_ulp ];
+        [
+          prop_roundtrip;
+          prop_field;
+          prop_compare_to_float;
+          prop_to_float_half_ulp;
+          prop_compare_fast_vs_slow;
+          prop_add_dyadic_vs_general;
+        ];
     ]

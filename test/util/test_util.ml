@@ -22,6 +22,39 @@ let random_nonzero_bigint st bits =
   in
   go ()
 
+(* ------------------------------------------------------------------ *)
+(* Differential-testing support: build the same value in the live       *)
+(* [Bigint] and in the frozen naive reference ([Ref_bigint]) from one   *)
+(* stream of random chunks, so no conversion path is trusted.           *)
+(* ------------------------------------------------------------------ *)
+
+module Ref = Ref_bigint
+
+(* Exactly [bits] bits (top bit set) when [bits > 0], same value in both
+   representations; sign chosen by the same coin. *)
+let bigint_pair ?(exact = false) st bits =
+  let b = ref B.zero and r = ref Ref.zero in
+  let chunks = (bits + 29) / 30 in
+  for i = 1 to chunks do
+    let width = if i = 1 && bits mod 30 <> 0 then bits mod 30 else 30 in
+    let c = Random.State.full_int st (1 lsl width) in
+    let c = if exact && i = 1 then c lor (1 lsl (width - 1)) else c in
+    b := B.add (B.shift_left !b width) (B.of_int c);
+    r := Ref.add (Ref.shift_left !r width) (Ref.of_int c)
+  done;
+  if Random.State.bool st then (B.neg !b, Ref.neg !r) else (!b, !r)
+
+let nonzero_bigint_pair ?exact st bits =
+  let rec go () =
+    let (b, _) as p = bigint_pair ?exact st bits in
+    if B.is_zero b then go () else p
+  in
+  go ()
+
+(* Value equality across the two representations, via their independent
+   decimal printers. *)
+let ref_eq b r = String.equal (B.to_string b) (Ref.to_string r)
+
 (* Random finite double spread over many binades. *)
 let random_double ?(max_exp = 300) st =
   let m = Random.State.float st 2.0 -. 1.0 in
