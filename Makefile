@@ -26,7 +26,7 @@ bench: build
 	dune exec bench/main.exe
 
 bench-json: build
-	dune exec bench/main.exe -- --json bigint rational gen
+	dune exec bench/main.exe -- --json bigint rational lp gen
 
 clean:
 	dune clean

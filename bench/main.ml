@@ -611,6 +611,87 @@ let rational () =
     t_cmp_spread t_cmp_spread_slow (t_cmp_spread_slow /. t_cmp_spread);
   Printf.printf "make (gcd normalization):  %10.0f ns\n%!" t_make
 
+(* ------------------------------------------------------------------ *)
+(* LP kernel microbenchmarks: revised simplex vs the retained dense     *)
+(* tableau, and warm-started growth vs cold re-solves (the Algorithm-4  *)
+(* access pattern).                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Polyfit-shaped system: bound a degree-4 polynomial within a +-1e-4
+   tube around log2 at quasi-random points of [1,2).  Points are drawn
+   from a fixed low-discrepancy sequence so [lp_system m] is a prefix of
+   [lp_system m'] for m < m' — the warm-grow workload below relies on
+   appending exactly the rows the cold re-solves see. *)
+let lp_system m =
+  let nt = 5 in
+  let q = Rational.of_float in
+  let point i = 1.0 +. Float.rem (float_of_int (i + 1) *. 0.618033988749895) 1.0 in
+  let rows = Array.make m [||] and rhs = Array.make m Rational.zero in
+  for i = 0 to (m / 2) - 1 do
+    let r = point i in
+    let pow = Array.init nt (fun k -> Float.pow r (float_of_int k)) in
+    let y = Float.log2 r in
+    rows.(2 * i) <- Array.map q pow;
+    rhs.(2 * i) <- q (y +. 1e-4);
+    rows.((2 * i) + 1) <- Array.map (fun p -> q (-.p)) pow;
+    rhs.((2 * i) + 1) <- q (-.(y -. 1e-4))
+  done;
+  (rows, rhs)
+
+let lp () =
+  pr_header "LP: revised simplex vs dense tableau; warm-started growth (degree-4 tube fit)";
+  let a, b = lp_system 64 in
+  let t_dense = measure_ns (Staged.stage (fun () -> Lp.Simplex.feasible_reference ~a ~b)) in
+  let t_rev = measure_ns (Staged.stage (fun () -> Lp.Simplex.feasible ~a ~b)) in
+  record "lp.dense_solve_ns" t_dense;
+  record "lp.revised_solve_ns" t_rev;
+  record "lp.revised_vs_dense_speedup" (t_dense /. t_rev);
+  Printf.printf "one-shot solve (64 rows):  dense %10.0f ns  revised %10.0f ns  (%.2fx)\n%!"
+    t_dense t_rev (t_dense /. t_rev);
+  (* Grown system: solve after every batch of fresh rows, as the
+     counterexample loop does.  Cold re-solves from scratch each round;
+     warm keeps one state and repairs its basis by dual simplex. *)
+  let rounds = 7 and step = 8 in
+  let cold_grow () =
+    let ok = ref 0 in
+    for k = 1 to rounds do
+      let a, b = lp_system (k * step) in
+      match Lp.Simplex.feasible ~a ~b with Lp.Simplex.Feasible _ -> incr ok | _ -> ()
+    done;
+    !ok
+  in
+  let warm_grow () =
+    let st = Lp.Simplex.create ~nv:5 in
+    let a, b = lp_system (rounds * step) in
+    let ok = ref 0 in
+    for k = 1 to rounds do
+      for i = (k - 1) * step to (k * step) - 1 do
+        ignore (Lp.Simplex.add_row st a.(i) b.(i))
+      done;
+      match Lp.Simplex.solve st with Lp.Simplex.Feasible _ -> incr ok | _ -> ()
+    done;
+    !ok
+  in
+  let t_cold_grow = measure_ns (Staged.stage cold_grow) in
+  let t_warm_grow = measure_ns (Staged.stage warm_grow) in
+  record "lp.cold_grow_ns" t_cold_grow;
+  record "lp.warm_grow_ns" t_warm_grow;
+  record "lp.warm_grow_speedup" (t_cold_grow /. t_warm_grow);
+  (* Pivot counts for one pass of each, so the work saved (not just the
+     wall clock) lands in the JSON. *)
+  let s0 = Lp.Simplex.snapshot () in
+  ignore (cold_grow ());
+  let s1 = Lp.Simplex.snapshot () in
+  ignore (warm_grow ());
+  let s2 = Lp.Simplex.snapshot () in
+  let cold_pivots = s1.Lp.Simplex.primal_pivots - s0.Lp.Simplex.primal_pivots in
+  let warm_pivots = s2.Lp.Simplex.dual_pivots - s1.Lp.Simplex.dual_pivots in
+  record "lp.cold_grow_pivots" (float_of_int cold_pivots);
+  record "lp.warm_grow_pivots" (float_of_int warm_pivots);
+  Printf.printf
+    "grown system (%d rounds x %d rows): cold %10.0f ns (%d pivots)  warm %10.0f ns (%d pivots)  (%.2fx)\n%!"
+    rounds step t_cold_grow cold_pivots t_warm_grow warm_pivots (t_cold_grow /. t_warm_grow)
+
 (* End-to-end generator wall-clock: the oracle and LP sit on Bigint and
    Rational, so the two-tier work shows up here. *)
 let gen () =
@@ -629,7 +710,38 @@ let gen () =
           let wall = Unix.gettimeofday () -. t0 in
           record (Printf.sprintf "gen.bfloat16_%s_s" name) wall;
           Printf.printf "%-7s %8.2f s\n%!" name wall)
-    [ "log2"; "exp2" ]
+    [ "log2"; "exp2" ];
+  (* float32 log2: the generation the LP-kernel tentpole targets, cold
+     (deterministic revised simplex) and with --lp-warm basis reuse.
+     Single runs: a generation is seconds, not nanoseconds. *)
+  pr_header "GEN: float32 log2 generation, cold vs warm-started LP";
+  let t = Funcs.Specs.float32 in
+  let spec = Funcs.Specs.by_name "log2" t in
+  List.iter
+    (fun (label, metric, cfg) ->
+      let t0 = Unix.gettimeofday () in
+      match
+        Rlibm.Generator.generate ~cfg spec ~patterns:(Funcs.Libm.enumeration t Funcs.Libm.Quick)
+      with
+      | Error msg -> Printf.printf "log2 (%s) FAILED: %s\n%!" label msg
+      | Ok g ->
+          let wall = Unix.gettimeofday () -. t0 in
+          record metric wall;
+          (match g.Rlibm.Generator.stats.lp with
+          | None -> ()
+          | Some l ->
+              let pfx = Printf.sprintf "lp.float32_log2_%s" label in
+              record (pfx ^ "_solves")
+                (float_of_int
+                   (if l.lp_warm_mode then l.lp_warm_solves + l.lp_cold_solves else l.lp_cold_solves));
+              record (pfx ^ "_pivots") (float_of_int (l.lp_primal_pivots + l.lp_dual_pivots));
+              if l.lp_warm_mode then
+                record (pfx ^ "_fallbacks") (float_of_int l.lp_warm_fallbacks));
+          Printf.printf "log2 (%s) %8.2f s\n%!" label wall)
+    [
+      ("cold", "gen.float32_log2_s", Rlibm.Config.default);
+      ("warm", "gen.float32_log2_warm_s", { Rlibm.Config.default with lp_warm = true });
+    ]
 
 let write_json () =
   let rev =
@@ -675,5 +787,6 @@ let () =
   if want "par" then par ();
   if want "bigint" then bigint ();
   if want "rational" then rational ();
+  if want "lp" then lp ();
   if want "gen" then gen ();
   if json then write_json ()

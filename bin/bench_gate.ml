@@ -1,0 +1,69 @@
+(* CI bench-regression gate: compare a fresh BENCH_<rev>.json against
+   the newest committed baseline and exit non-zero when a gen.* or lp.*
+   metric regressed past the threshold.  See lib/benchgate. *)
+
+open Cmdliner
+
+(* Newest committed BENCH_*.json by name-embedded order is not
+   meaningful (revs are hashes), so "newest" means most recently
+   modified; CI checkouts restore mtimes at checkout time, so there the
+   workflow passes the baseline explicitly via `git log`-ordered paths.
+   Locally mtime is exactly right. *)
+let newest_baseline ~excluding dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 10
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json"
+         && f <> Filename.basename excluding)
+  |> List.map (fun f -> Filename.concat dir f)
+  |> List.sort (fun a b -> compare (Unix.stat b).Unix.st_mtime (Unix.stat a).Unix.st_mtime)
+  |> function
+  | [] -> None
+  | x :: _ -> Some x
+
+let run baseline current threshold =
+  let baseline =
+    match baseline with
+    | Some b -> b
+    | None -> (
+        match newest_baseline ~excluding:current (Filename.dirname current) with
+        | Some b -> b
+        | None ->
+            Format.printf "bench-gate: no committed BENCH_*.json baseline found — nothing to gate@.";
+            exit 0)
+  in
+  Format.printf "bench-gate: %s (baseline) vs %s (current)@." baseline current;
+  match (Benchgate.parse_file baseline, Benchgate.parse_file current) with
+  | exception Sys_error msg ->
+      Format.eprintf "bench-gate: %s@." msg;
+      exit 2
+  | exception Benchgate.Parse_error msg ->
+      Format.eprintf "bench-gate: malformed bench JSON: %s@." msg;
+      exit 2
+  | base, curr ->
+      let verdicts = Benchgate.compare_metrics ~threshold base curr in
+      Benchgate.pp_report Format.std_formatter ~threshold verdicts;
+      exit (if Benchgate.any_regression verdicts then 1 else 0)
+
+let baseline_term =
+  Arg.(value & opt (some file) None
+       & info [ "baseline" ]
+           ~doc:"Baseline BENCH_<rev>.json.  Default: the most recently modified BENCH_*.json \
+                 next to $(b,--current), excluding the current file itself.")
+
+let current_term =
+  Arg.(required & opt (some file) None
+       & info [ "current" ] ~doc:"Freshly produced BENCH_<rev>.json to judge.")
+
+let threshold_term =
+  Arg.(value & opt float 0.25
+       & info [ "threshold" ]
+           ~doc:"Allowed relative regression on gen.* and lp.* metrics (0.25 = 25%).")
+
+let () =
+  let info =
+    Cmd.info "bench_gate"
+      ~doc:"Fail when a gen.*/lp.* benchmark metric regressed vs the committed baseline"
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ baseline_term $ current_term $ threshold_term)))

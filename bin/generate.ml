@@ -16,9 +16,12 @@ let names_for (t : Funcs.Specs.target) =
   | "posit32" | "posit16" -> Funcs.Specs.posit_functions
   | _ -> Funcs.Specs.float_functions
 
-let run_one (t : Funcs.Specs.target) quality ~pass_stats name =
+let cfg_of_lp_warm lp_warm =
+  if lp_warm then Some { Rlibm.Config.default with lp_warm = true } else None
+
+let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
   let t0 = Unix.gettimeofday () in
-  match Funcs.Libm.get ~quality t name with
+  match Funcs.Libm.get ~quality ?cfg t name with
   | g ->
       let wall = Unix.gettimeofday () -. t0 in
       let s = g.Rlibm.Generator.stats in
@@ -27,19 +30,30 @@ let run_one (t : Funcs.Specs.target) quality ~pass_stats name =
           Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name t.tname
             c.cname wall s.n_inputs s.n_special c.n_constraints c.split_bits c.degree c.n_terms)
         s.per_component;
-      if pass_stats then
-        List.iter (Format.printf "%a" Rlibm.Stats.pp_pass) s.Rlibm.Stats.passes
+      if pass_stats then begin
+        List.iter (Format.printf "%a" Rlibm.Stats.pp_pass) s.Rlibm.Stats.passes;
+        match s.Rlibm.Stats.lp with
+        | None -> ()
+        | Some l ->
+            Format.printf
+              "  lp %s: %d cold solves (%d primal pivots), %d warm solves (%d dual pivots, %d \
+               fallbacks), %d refactorizations@."
+              (if l.lp_warm_mode then "warm" else "cold")
+              l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots
+              l.lp_warm_fallbacks l.lp_refactorizations
+      end
   | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name t.tname msg
 
-let stats jobs pass_stats targets quality fns =
+let stats jobs pass_stats lp_warm targets quality fns =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
+  let cfg = cfg_of_lp_warm lp_warm in
   Printf.printf "%-7s %-9s %-10s %6s %9s %7s %7s  %-5s %4s %4s\n" "func" "target" "component"
     "time_s" "inputs" "special" "reduced" "polys" "deg" "terms";
   List.iter
     (fun tname ->
       let t = target_of tname in
       let names = if fns = [] then names_for t else fns in
-      List.iter (run_one t quality ~pass_stats) names)
+      List.iter (run_one t quality ?cfg ~pass_stats) names)
     targets
 
 let jobs_term =
@@ -64,24 +78,33 @@ let quality_term =
 let funcs_term =
   Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Generate only this function.")
 
+let lp_warm_term =
+  Arg.(value & flag
+       & info [ "lp-warm" ]
+           ~doc:"Warm-start the LP solves (dual-simplex basis reuse across counterexample \
+                 rounds and sub-domain splits).  Faster; same sat/unsat answers, but \
+                 coefficient vertices — and so the emitted tables — may differ from the \
+                 deterministic cold default.  Also enabled by RLIBM_LP_WARM=1.")
+
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
-    Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
+    Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
 
 (* Bit-exact dump of the generated tables: every coefficient and scheme
    word as hex bits.  Diffing two dumps proves (or refutes) that a
    change to the exact-arithmetic substrate left the generated artifact
    bit-identical — the determinism contract CI leans on. *)
-let dump jobs targets quality fns =
+let dump jobs lp_warm targets quality fns =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
+  let cfg = cfg_of_lp_warm lp_warm in
   List.iter
     (fun tname ->
       let t = target_of tname in
       let names = if fns = [] then names_for t else fns in
       List.iter
         (fun name ->
-          match Funcs.Libm.get ~quality t name with
+          match Funcs.Libm.get ~quality ?cfg t name with
           | exception Failure msg -> Printf.printf "%s %s FAILED: %s\n%!" name t.tname msg
           | g ->
               Printf.printf "%s %s\n" name t.tname;
@@ -109,7 +132,7 @@ let dump jobs targets quality fns =
 let dump_cmd =
   Cmd.v
     (Cmd.info "dump" ~doc:"Bit-exact hex dump of the generated tables (for determinism diffs)")
-    Term.(const dump $ jobs_term $ targets_term $ quality_term $ funcs_term)
+    Term.(const dump $ jobs_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
 
 let () =
   let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
@@ -117,5 +140,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           ~default:
-            Term.(const stats $ jobs_term $ pass_stats_term $ targets_term $ quality_term $ funcs_term)
+            Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
           info [ stats_cmd; dump_cmd ]))

@@ -79,6 +79,18 @@ let table3 (t : Funcs.Specs.target) quality names =
     names
 
 let () =
+  (* The report goes to stdout; [--out FILE] redirects it to an explicit
+     artifact path instead.  Nothing is ever dropped implicitly in the
+     working tree. *)
+  (match Sys.argv with
+  | [| _ |] -> ()
+  | [| _; "--out"; file |] ->
+      let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd
+  | _ ->
+      prerr_endline "usage: report [--out FILE]";
+      exit 2);
   print_endline "### Table 1 analog: float32 correctness (Quick generation; columns are";
   print_endline "### wrong-result counts on the generation enumeration / a fresh sample)";
   correctness Funcs.Specs.float32 Funcs.Libm.Quick Funcs.Specs.float_functions;

@@ -1,0 +1,149 @@
+(* Bench-regression gate: compare two BENCH_<rev>.json files (the flat
+   string->number metric maps bench/main.ml writes) and flag metrics
+   that got worse by more than a threshold.
+
+   The gate only *fails* on the generator-facing families — `gen.*`
+   (end-to-end generation wall-clock) and `lp.*` (LP kernel work) —
+   because the exact-arithmetic microbenchmark families are reported
+   with their own speedup metrics and are noisier on shared CI runners.
+   Everything common to both files is still printed. *)
+
+type direction =
+  | Lower_better  (* times: *_ns, *_s, and work counts *)
+  | Higher_better  (* *speedup* ratios *)
+
+(* Infer the improvement direction from the metric name, matching the
+   naming convention of bench/main.ml: times end in _ns/_s, ratios
+   contain "speedup", everything else (pivot/solve/fallback counts) is
+   work and should not grow. *)
+let direction_of key =
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  if contains "speedup" key then Higher_better else Lower_better
+
+let gated key =
+  let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
+  pfx "gen." || pfx "lp."
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  The bench JSON is machine-written with a fixed shape       *)
+(* ({ "rev", "date", "metrics": { "k": 1.23, ... } }), so a small       *)
+(* scanner over the "metrics" object is enough — no JSON dependency.    *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_metrics (s : string) : (string * float) list =
+  let n = String.length s in
+  let fail msg = raise (Parse_error msg) in
+  let find_sub sub from =
+    let m = String.length sub in
+    let rec go i =
+      if i + m > n then fail (Printf.sprintf "missing %S" sub)
+      else if String.sub s i m = sub then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let skip_ws i =
+    let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then go (i + 1) else i in
+    go i
+  in
+  (* position just after the '{' opening the metrics object *)
+  let start =
+    let k = find_sub "\"metrics\"" 0 in
+    let c = skip_ws (find_sub ":" k + 1) in
+    if c >= n || s.[c] <> '{' then fail "metrics is not an object";
+    c + 1
+  in
+  let parse_string i =
+    if i >= n || s.[i] <> '"' then fail "expected string";
+    let rec go j = if j >= n then fail "unterminated string" else if s.[j] = '"' then j else go (j + 1) in
+    let e = go (i + 1) in
+    (String.sub s (i + 1) (e - i - 1), e + 1)
+  in
+  let parse_number i =
+    let isnum c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+    let rec go j = if j < n && isnum s.[j] then go (j + 1) else j in
+    let e = go i in
+    if e = i then fail "expected number";
+    (float_of_string (String.sub s i (e - i)), e)
+  in
+  let rec entries i acc =
+    let i = skip_ws i in
+    if i >= n then fail "unterminated metrics object"
+    else if s.[i] = '}' then List.rev acc
+    else if s.[i] = ',' then entries (i + 1) acc
+    else begin
+      let key, i = parse_string i in
+      let i = skip_ws i in
+      if i >= n || s.[i] <> ':' then fail "expected ':'";
+      let v, i = parse_number (skip_ws (i + 1)) in
+      entries i ((key, v) :: acc)
+    end
+  in
+  entries start []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_metrics s
+
+(* ------------------------------------------------------------------ *)
+(* Comparison.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  key : string;
+  base : float;
+  curr : float;
+  ratio : float;  (* curr/base for Lower_better, base/curr for Higher_better: >1 = worse *)
+  gated : bool;  (* counts toward the exit code *)
+  regressed : bool;  (* ratio > 1 + threshold (gated metrics only) *)
+}
+
+(* [compare_metrics ~threshold base curr] pairs up the metrics common to
+   both runs.  Metrics only in one file are ignored: new benchmarks are
+   not regressions, and retired ones have no current value to judge. *)
+let compare_metrics ?(threshold = 0.25) (base : (string * float) list)
+    (curr : (string * float) list) : verdict list =
+  List.filter_map
+    (fun (key, b) ->
+      match List.assoc_opt key curr with
+      | None -> None
+      | Some c ->
+          let ratio =
+            match direction_of key with
+            | Lower_better -> if b > 0.0 then c /. b else 1.0
+            | Higher_better -> if c > 0.0 then b /. c else 1.0
+          in
+          let g = gated key in
+          Some { key; base = b; curr = c; ratio; gated = g; regressed = g && ratio > 1.0 +. threshold })
+    base
+
+let any_regression verdicts = List.exists (fun v -> v.regressed) verdicts
+
+let pp_report fmt ~threshold verdicts =
+  Format.fprintf fmt "%-45s %12s %12s %8s  %s@." "metric" "baseline" "current" "ratio" "status";
+  List.iter
+    (fun v ->
+      let status =
+        if v.regressed then "REGRESSED"
+        else if not v.gated then "info"
+        else if v.ratio > 1.0 then "worse (within threshold)"
+        else "ok"
+      in
+      Format.fprintf fmt "%-45s %12.3f %12.3f %7.2fx  %s@." v.key v.base v.curr v.ratio status)
+    verdicts;
+  let bad = List.filter (fun v -> v.regressed) verdicts in
+  if bad = [] then
+    Format.fprintf fmt "gate: OK (%d metrics compared, threshold %.0f%%)@." (List.length verdicts)
+      (100.0 *. threshold)
+  else
+    Format.fprintf fmt "gate: FAIL — %d gen.*/lp.* metric(s) regressed more than %.0f%%@."
+      (List.length bad) (100.0 *. threshold)

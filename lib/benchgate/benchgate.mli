@@ -1,0 +1,45 @@
+(** Bench-regression gate over the BENCH_<rev>.json files written by
+    [bench/main.exe --json]: pair up the metrics common to a baseline
+    and a current run, and fail when a [gen.*] or [lp.*] metric got
+    worse by more than a threshold (default 25%).  Other metric
+    families are reported but informational — the exact-arithmetic
+    microbenchmarks carry their own speedup metrics and are noisier on
+    shared runners. *)
+
+type direction = Lower_better | Higher_better
+
+(** Improvement direction by naming convention: ["speedup"] anywhere in
+    the key means higher is better; everything else (times [_ns]/[_s],
+    pivot/solve counts) should not grow. *)
+val direction_of : string -> direction
+
+(** True for the [gen.*] / [lp.*] families the gate fails on. *)
+val gated : string -> bool
+
+exception Parse_error of string
+
+(** Extract the flat ["metrics"] object of a bench JSON document.
+    @raise Parse_error when the document does not have the shape
+    [bench/main.ml] writes. *)
+val parse_metrics : string -> (string * float) list
+
+(** [parse_file path] reads and parses one BENCH JSON file. *)
+val parse_file : string -> (string * float) list
+
+type verdict = {
+  key : string;
+  base : float;
+  curr : float;
+  ratio : float;  (** >1 means worse, whatever the direction *)
+  gated : bool;
+  regressed : bool;  (** gated and worse by more than the threshold *)
+}
+
+(** Metrics present in both runs, in baseline order; metrics unique to
+    either file are skipped (new benchmarks are not regressions). *)
+val compare_metrics :
+  ?threshold:float -> (string * float) list -> (string * float) list -> verdict list
+
+val any_regression : verdict list -> bool
+
+val pp_report : Format.formatter -> threshold:float -> verdict list -> unit

@@ -609,53 +609,6 @@ let trailing_zeros t =
       (!i * limb_bits) + int_bits (limb land -limb) - 1
 
 (* ------------------------------------------------------------------ *)
-(* GCD.                                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* Native Euclid; the fixnum tier's division is a single instruction, so
-   the classic remainder loop beats binary gcd here. *)
-let rec igcd a b = if b = 0 then a else igcd b (a mod b)
-
-let gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero a then b
-  else if is_zero b then a
-  else begin
-    match (a, b) with
-    | S x, S y -> S (igcd x y)
-    | _ ->
-        (* Factor out the common power of two, then shrink: a wide size
-           gap takes a Euclid (remainder) step, near-equal sizes take a
-           binary subtract step; the loop drops to native Euclid the
-           moment both operands fit the fixnum tier. *)
-        let za = trailing_zeros a and zb = trailing_zeros b in
-        let shift = min za zb in
-        let rec loop a b =
-          (* both odd and nonzero *)
-          match (a, b) with
-          | S x, S y -> S (igcd x y)
-          | _ ->
-              let la = bit_length a and lb = bit_length b in
-              let a, b = if la >= lb then (a, b) else (b, a) in
-              if la - lb > 1 then begin
-                (* One remainder removes the whole size gap; a subtract
-                   would only chip at it. *)
-                let r = rem a b in
-                if is_zero r then b else loop (shift_right r (trailing_zeros r)) b
-              end
-              else begin
-                (* Near-equal sizes: the quotient is 1 or 2, so a plain
-                   subtract beats a normalizing division.  Equal bit
-                   lengths do not order the values: keep the difference
-                   positive or the sign leaks into the result. *)
-                let d = abs (sub a b) in
-                if is_zero d then a else loop (shift_right d (trailing_zeros d)) b
-              end
-        in
-        shift_left (loop (shift_right a za) (shift_right b zb)) shift
-  end
-
-(* ------------------------------------------------------------------ *)
 (* Small-operand helpers.                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +627,84 @@ let mul_int t n =
 
 let to_int = function S n -> Some n | L _ -> None
 let to_int_exn t = match to_int t with Some n -> n | None -> failwith "Bigint.to_int_exn: overflow"
+
+(* ------------------------------------------------------------------ *)
+(* GCD.                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Native Euclid; the fixnum tier's division is a single instruction, so
+   the classic remainder loop beats binary gcd here. *)
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* Lehmer acceleration (Knuth Vol. 2, Algorithm L): run Euclid on the
+   62-bit leading digits of both operands, folding the quotient sequence
+   into a 2x2 cofactor matrix, and apply the whole matrix to the full
+   operands in two O(n) passes.  The double-quotient test — the step is
+   taken only when the quotient is the same under both one-sided
+   roundings of the truncated digits — guarantees the simulated steps
+   are exactly the steps full-precision Euclid would take, so the matrix
+   has determinant +-1 and preserves the gcd.
+
+   The inner loop stops once the leading remainder drops below 2^32;
+   with u < 2^62 that bounds the matrix entries by u/v < 2^30 and the
+   next quotient by ~2^30, so every intermediate product stays inside
+   the native int and every matrix-vector product takes the single-limb
+   [mul_int] fast path.  Each round therefore collapses ~30 bits' worth
+   of quotients (a dozen-plus Euclid steps) into one linear pass. *)
+let lehmer_cut = 1 lsl 32
+
+let gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let rec loop a b =
+      (* a >= b > 0 *)
+      match (a, b) with
+      | S x, S y -> S (igcd x y)
+      | _, S y -> (
+          (* One wide-by-native remainder lands both on the fixnum tier. *)
+          match rem a b with S r -> S (igcd y r) | L _ -> assert false)
+      | _ ->
+          let la = bit_length a in
+          let k = la - 62 in
+          let uh = to_int_exn (shift_right a k) and vh = to_int_exn (shift_right b k) in
+          let u = ref uh and v = ref vh in
+          let ma = ref 1 and mb = ref 0 and mc = ref 0 and md = ref 1 in
+          let progress = ref false in
+          let stepping = ref true in
+          while !stepping && !v >= lehmer_cut do
+            (* Entry bounds keep both denominators positive here. *)
+            let q = (!u + !ma) / (!v + !mc) in
+            if q <> (!u + !mb) / (!v + !md) then stepping := false
+            else begin
+              let t = !ma - (q * !mc) in
+              ma := !mc;
+              mc := t;
+              let t = !mb - (q * !md) in
+              mb := !md;
+              md := t;
+              let t = !u - (q * !v) in
+              u := !v;
+              v := t;
+              progress := true
+            end
+          done;
+          if not !progress then begin
+            (* Leading digits decide nothing (size gap > 30 bits, or an
+               immediately ambiguous quotient): one exact division step
+               removes the whole gap instead. *)
+            let r = rem a b in
+            if is_zero r then b else loop b r
+          end
+          else begin
+            let a' = abs (add (mul_int a !ma) (mul_int b !mb)) in
+            let b' = abs (add (mul_int a !mc) (mul_int b !md)) in
+            if is_zero b' then a' else loop a' b'
+          end
+    in
+    if compare a b >= 0 then loop a b else loop b a
+  end
 
 let to_float t =
   match t with

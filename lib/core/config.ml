@@ -11,6 +11,13 @@ type t = {
   cex_rounds : int;  (* counterexample loop iterations *)
   max_split_bits : int;  (* deepest sub-domain split: 2^max_split_bits tables *)
   start_split_bits : int;  (* skip straight to this split depth (0 = try single poly) *)
+  lp_warm : bool;
+      (* Warm-start the LPs of the counterexample loop from per-sub-domain
+         Polyfit sessions (dual-simplex basis repair + sibling basis reuse
+         after splits).  Same sat/unsat answers as cold, but possibly
+         different coefficient vertices — so the deterministic cold path
+         stays the default; flip on via RLIBM_LP_WARM=1 or generate
+         --lp-warm for speed. *)
 }
 
 let default =
@@ -22,4 +29,5 @@ let default =
     cex_rounds = 40;
     max_split_bits = 10;
     start_split_bits = 0;
+    lp_warm = (match Sys.getenv_opt "RLIBM_LP_WARM" with Some ("1" | "true") -> true | _ -> false);
   }

@@ -88,6 +88,13 @@ type group_cons = { hull : float * float; cons : Reduced.constr array }
    GenApproxHelper's loop — try 2^n sub-domains for growing n. *)
 let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
   let nt = Array.length terms in
+  (* Warm mode: one Polyfit session per sub-domain, kept across the
+     split ladder.  When level n fails and the group re-splits at n+1,
+     each child bucket seeds its session from a clone of its parent
+     bucket's — the child's constraint set is a subset of the parent's,
+     so the parent's final basis is a few dual pivots from the child's
+     optimum (the Algorithm-3 sibling-reuse of the revised simplex). *)
+  let prev_level : (Splitting.scheme * Lp.Polyfit.session option array) option ref = ref None in
   let rec attempt n =
     if n > cfg.max_split_bits then None
     else begin
@@ -99,6 +106,24 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
           let i = Splitting.index scheme c.r in
           buckets.(i) <- c :: buckets.(i))
         gc.cons;
+      let sessions = Array.make nsub None in
+      if cfg.lp_warm then
+        Array.iteri
+          (fun i cs ->
+            match cs with
+            | [] -> ()
+            | (c : Reduced.constr) :: _ ->
+                let parent =
+                  match !prev_level with
+                  | None -> None
+                  | Some (pscheme, psess) -> psess.(Splitting.index pscheme c.r)
+                in
+                sessions.(i) <-
+                  Some
+                    (match parent with
+                    | Some s -> Lp.Polyfit.clone_session s
+                    | None -> Lp.Polyfit.new_session ()))
+          buckets;
       let coeffs = Array.make (nsub * nt) 0.0 in
       let filled = Array.make nsub false in
       let used_terms = ref 0 in
@@ -119,7 +144,7 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
             let rec first = function
               | [] -> ok := false
               | ts :: rest -> (
-                  match Polygen.gen ~cfg ~terms:ts cs with
+                  match Polygen.gen ?session:sessions.(!i) ~cfg ~terms:ts cs with
                   | Polygen.Found c ->
                       Array.blit c 0 coeffs (!i * nt) (Array.length c);
                       used_terms := Stdlib.max !used_terms (Array.length ts);
@@ -129,7 +154,10 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
             first try_terms));
         incr i
       done;
-      if not !ok then attempt (n + 1)
+      if not !ok then begin
+        if cfg.lp_warm then prev_level := Some (scheme, sessions);
+        attempt (n + 1)
+      end
       else begin
         (* Fill sub-domains that received no constraints (possible under
            sampled enumeration) from the NEAREST populated sub-domain —
@@ -179,6 +207,7 @@ type deduced =
 let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
   let module T = (val spec.repr : T_intf.S) in
   let t0 = Sys.time () in
+  let lp0 = Lp.Simplex.snapshot () in
   let n_components = Array.length spec.components in
   (* Enumeration pass (Algorithm 1's oracle sweep), domain-parallel. *)
   let deduce_one pat =
@@ -311,6 +340,9 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
                       (function Some s -> s | None -> assert false)
                       comp_stats;
                   passes = [];
+                  lp =
+                    Some
+                      (Stats.lp_of_counters ~warm_mode:cfg.lp_warm lp0 (Lp.Simplex.snapshot ()));
                 };
             }
           in

@@ -67,7 +67,7 @@ let initial_sample (cfg : Config.t) (cons : Reduced.constr array) =
   end;
   picked
 
-let gen_with ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) =
+let gen_with ?session ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) =
   let n = Array.length cons in
   if n = 0 then Found (Array.make (Array.length terms) 0.0)
   else begin
@@ -98,7 +98,7 @@ let gen_with ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) 
               Array.map (fun s -> { Lp.Polyfit.r = s.orig.r; lo = s.lo; hi = s.hi }) !slots
             in
             let t_fit = if debug then Sys.time () else 0.0 in
-            let fit_result = Lp.Polyfit.fit ~terms lp_cons in
+            let fit_result = Lp.Polyfit.fit ?session ~terms lp_cons in
             if debug then
               Printf.eprintf "[polygen] round %d refine %d sample %d fit %.2fs -> %s\n%!"
                 !rounds !refine (Array.length lp_cons) (Sys.time () -. t_fit)
@@ -167,14 +167,16 @@ let shrink_by factor (c : Reduced.constr) =
 
 let shrink = shrink_by 65536.0
 
-let gen ~(cfg : Config.t) ~terms (cons : Reduced.constr array) =
+let gen ?session ~(cfg : Config.t) ~terms (cons : Reduced.constr array) =
   (* Tube rungs get a short refine budget: when a shrunken feasible
      region is a sliver, search-and-refine would thin it further instead
-     of helping, so fall through to the next rung early. *)
+     of helping, so fall through to the next rung early.  Rungs share
+     the same reduced inputs, so a warm session carries its basis down
+     the whole ladder — each rung only loosens the right-hand sides. *)
   let rec ladder = function
-    | [] -> gen_with ~cfg ~refine_cap:cfg.refine_tries ~terms cons
+    | [] -> gen_with ?session ~cfg ~refine_cap:cfg.refine_tries ~terms cons
     | f :: rest -> (
-        match gen_with ~cfg ~refine_cap:8 ~terms (Array.map (shrink_by f) cons) with
+        match gen_with ?session ~cfg ~refine_cap:8 ~terms (Array.map (shrink_by f) cons) with
         | Found c -> Found c
         | No_polynomial -> ladder rest)
   in

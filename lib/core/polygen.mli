@@ -32,5 +32,11 @@ val shrink : Reduced.constr -> Reduced.constr
 
 (** [gen ~cfg ~terms cons] generates coefficients for the term structure
     [terms] satisfying every constraint, or reports that no polynomial
-    of this structure exists within the configured budgets. *)
-val gen : cfg:Config.t -> terms:int array -> Reduced.constr array -> verdict
+    of this structure exists within the configured budgets.
+
+    [?session] warm-starts every LP in the counterexample loop from a
+    {!Lp.Polyfit.session} (and leaves the session primed for the next
+    call on the same sub-domain lineage); omit it for the deterministic
+    cold path. *)
+val gen :
+  ?session:Lp.Polyfit.session -> cfg:Config.t -> terms:int array -> Reduced.constr array -> verdict

@@ -11,6 +11,7 @@ type t = {
   n_reduced : int;  (* distinct reduced constraints, summed over components *)
   per_component : component array;
   passes : pass list;  (* sharded phases, in execution order *)
+  lp : lp option;  (* LP kernel work during this generation run *)
 }
 
 and component = {
@@ -35,6 +36,32 @@ and pass = {
   max_shard_seconds : float;
   items_per_second : float;
 }
+
+(* LP kernel counters over one generation run: solve and pivot counts
+   from {!Lp.Simplex}, split by entry point (cold = fresh two-phase
+   solves, warm = dual-simplex basis repairs, fallbacks = warm repairs
+   that hit the pivot cap and re-ran cold). *)
+and lp = {
+  lp_warm_mode : bool;  (* was Config.lp_warm set for this run *)
+  lp_cold_solves : int;
+  lp_warm_solves : int;
+  lp_primal_pivots : int;
+  lp_dual_pivots : int;
+  lp_refactorizations : int;
+  lp_warm_fallbacks : int;
+}
+
+(* Counter delta between two {!Lp.Simplex.snapshot}s bracketing a run. *)
+let lp_of_counters ~warm_mode (b : Lp.Simplex.counters) (a : Lp.Simplex.counters) =
+  {
+    lp_warm_mode = warm_mode;
+    lp_cold_solves = a.cold_solves - b.cold_solves;
+    lp_warm_solves = a.warm_solves - b.warm_solves;
+    lp_primal_pivots = a.primal_pivots - b.primal_pivots;
+    lp_dual_pivots = a.dual_pivots - b.dual_pivots;
+    lp_refactorizations = a.refactorizations - b.refactorizations;
+    lp_warm_fallbacks = a.warm_fallbacks - b.warm_fallbacks;
+  }
 
 let pass_of_run ~name (r : Parallel.stats) =
   let busy = Array.fold_left ( +. ) 0.0 r.shard_seconds in
@@ -65,4 +92,13 @@ let pp fmt t =
       Format.fprintf fmt "  %-10s %7d constraints, %4d polys (2^%d), degree %d, %d terms@."
         c.cname c.n_constraints c.n_polynomials c.split_bits c.degree c.n_terms)
     t.per_component;
-  List.iter (pp_pass fmt) t.passes
+  List.iter (pp_pass fmt) t.passes;
+  match t.lp with
+  | None -> ()
+  | Some l ->
+      Format.fprintf fmt
+        "  lp %s: %d cold solves (%d primal pivots), %d warm solves (%d dual pivots, %d \
+         fallbacks), %d refactorizations@."
+        (if l.lp_warm_mode then "warm" else "cold")
+        l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots l.lp_warm_fallbacks
+        l.lp_refactorizations

@@ -26,7 +26,7 @@ let eval_exact ~terms coeffs x =
   Array.iteri (fun i e -> acc := Q.add !acc (Q.mul coeffs.(i) (qpow qx e))) terms;
   !acc
 
-let fit ~terms cons =
+let fit_cold ~terms cons =
   let m = Array.length cons in
   let nt = Array.length terms in
   if m = 0 then Some (Array.make nt Q.zero)
@@ -113,3 +113,202 @@ let fit ~terms cons =
       loop 0
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started sessions.                                              *)
+(*                                                                     *)
+(* A session keeps the LP active set alive *between* fit calls as a     *)
+(* Simplex.state: Algorithm 4's counterexample loop refits the same     *)
+(* constraint family round after round, each time with a few more       *)
+(* constraints (counterexamples) and slightly moved bounds              *)
+(* (search-and-refine, tube rungs).  Instead of rebuilding and          *)
+(* re-solving the active-set LP from scratch, the session syncs the     *)
+(* live rows to the new call (drop vanished inputs, retarget bounds,    *)
+(* append fresh counterexamples) and lets the dual simplex repair the   *)
+(* previous basis.  Exact constraint rows are cached per reduced input, *)
+(* so the per-call row-building cost — bigfloat powers over the whole   *)
+(* constraint set — is paid once per input instead of once per round.   *)
+(*                                                                     *)
+(* Warm fits agree with cold fits on sat/unsat (both sides of the       *)
+(* simplex are exact) but may park on a different vertex, so warm mode  *)
+(* is opt-in (Config.lp_warm) and the cold path stays the default and   *)
+(* the differential reference.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type inner = {
+  i_terms : int array;
+  i_sigma : int;  (* scaling exponent, pinned at session build *)
+  i_state : Simplex.state;
+  mutable i_keys : (int64, int * int) Hashtbl.t;
+      (* reduced-input bits -> (row index of "<= hi", row index of "<= -lo") *)
+  i_rows : (int64, Q.t array) Hashtbl.t;  (* exact scaled constraint rows *)
+  i_rows_f : (int64, float array) Hashtbl.t;  (* double view for the scan *)
+}
+
+type session = { mutable inner : inner option }
+
+let new_session () = { inner = None }
+
+let clone_session s =
+  match s.inner with
+  | None -> { inner = None }
+  | Some inn ->
+      {
+        inner =
+          Some
+            {
+              inn with
+              i_state = Simplex.copy inn.i_state;
+              i_keys = Hashtbl.copy inn.i_keys;
+              i_rows = Hashtbl.copy inn.i_rows;
+              i_rows_f = Hashtbl.copy inn.i_rows_f;
+            };
+      }
+
+let fit_warm s ~terms cons =
+  let m = Array.length cons in
+  let nt = Array.length terms in
+  if m = 0 then Some (Array.make nt Q.zero)
+  else if Array.exists (fun c -> c.lo > c.hi) cons then None
+  else begin
+    let rmax = Array.fold_left (fun acc c -> Float.max acc (Float.abs c.r)) 0.0 cons in
+    let sigma_now = if rmax = 0.0 then 0 else -snd (Float.frexp rmax) in
+    let inn =
+      match s.inner with
+      | Some inn when inn.i_terms = terms && abs (inn.i_sigma - sigma_now) <= 4 ->
+          (* Same structure, domain scale within a few octaves of the
+             pinned one: the cached rows stay well-conditioned. *)
+          inn
+      | _ ->
+          let inn =
+            {
+              i_terms = Array.copy terms;
+              i_sigma = sigma_now;
+              i_state = Simplex.create ~nv:nt;
+              i_keys = Hashtbl.create 64;
+              i_rows = Hashtbl.create 256;
+              i_rows_f = Hashtbl.create 256;
+            }
+          in
+          s.inner <- Some inn;
+          inn
+    in
+    let key_of r = Int64.bits_of_float r in
+    (* Current bounds per reduced input; duplicates intersect, which is
+       what duplicate LP rows would enforce anyway. *)
+    let bounds = Hashtbl.create (2 * m) in
+    Array.iter
+      (fun c ->
+        let k = key_of c.r in
+        match Hashtbl.find_opt bounds k with
+        | None -> Hashtbl.replace bounds k (c.lo, c.hi)
+        | Some (l, h) -> Hashtbl.replace bounds k (Float.max l c.lo, Float.min h c.hi))
+      cons;
+    let exact_row k =
+      match Hashtbl.find_opt inn.i_rows k with
+      | Some r -> r
+      | None ->
+          let qr = Q.mul_pow2 (Q.of_float (Int64.float_of_bits k)) inn.i_sigma in
+          let row = Array.map (fun e -> round64 (qpow qr e)) terms in
+          Hashtbl.replace inn.i_rows k row;
+          Hashtbl.replace inn.i_rows_f k (Array.map Q.to_float row);
+          row
+    in
+    let float_row k =
+      ignore (exact_row k);
+      Hashtbl.find inn.i_rows_f k
+    in
+    (* Sync 1: drop live rows whose reduced input vanished from this
+       call (stale bounds from another rung would over-constrain). *)
+    if Hashtbl.length inn.i_keys > 0 then begin
+      let nr = Simplex.nrows inn.i_state in
+      let keep = Array.make nr false in
+      Hashtbl.iter
+        (fun k (ih, il) ->
+          if Hashtbl.mem bounds k then begin
+            keep.(ih) <- true;
+            keep.(il) <- true
+          end)
+        inn.i_keys;
+      if Array.exists not keep then begin
+        Simplex.drop_rows inn.i_state ~keep:(fun i -> keep.(i));
+        let newidx = Array.make nr (-1) in
+        let c = ref 0 in
+        for i = 0 to nr - 1 do
+          if keep.(i) then begin
+            newidx.(i) <- !c;
+            incr c
+          end
+        done;
+        let keys' = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun k (ih, il) ->
+            if keep.(ih) then Hashtbl.replace keys' k (newidx.(ih), newidx.(il)))
+          inn.i_keys;
+        inn.i_keys <- keys'
+      end
+    end;
+    (* Sync 2: retarget every surviving row to this call's bounds. *)
+    Hashtbl.iter
+      (fun k (ih, il) ->
+        let lo, hi = Hashtbl.find bounds k in
+        Simplex.set_rhs inn.i_state ih (Q.of_float hi);
+        Simplex.set_rhs inn.i_state il (Q.neg (Q.of_float lo)))
+      inn.i_keys;
+    let add_key k =
+      if not (Hashtbl.mem inn.i_keys k) then begin
+        let row = exact_row k in
+        let lo, hi = Hashtbl.find bounds k in
+        let ih = Simplex.add_row inn.i_state row (Q.of_float hi) in
+        let il = Simplex.add_row inn.i_state (Array.map Q.neg row) (Q.neg (Q.of_float lo)) in
+        Hashtbl.replace inn.i_keys k (ih, il)
+      end
+    in
+    (* Fresh session: seed with the cold path's even spread. *)
+    if Hashtbl.length inn.i_keys = 0 then begin
+      let init_size = Stdlib.min m ((3 * nt) + 2) in
+      for p = 0 to init_size - 1 do
+        add_key (key_of cons.(p * (m - 1) / Stdlib.max 1 (init_size - 1)).r)
+      done
+    end;
+    let violation coeffs_f i =
+      let rf = float_row (key_of cons.(i).r) in
+      let v = ref 0.0 in
+      Array.iteri (fun j _ -> v := !v +. (coeffs_f.(j) *. rf.(j))) terms;
+      let v = !v in
+      if v < cons.(i).lo then cons.(i).lo -. v
+      else if v > cons.(i).hi then v -. cons.(i).hi
+      else 0.0
+    in
+    let rec loop rounds =
+      if rounds > 60 || Simplex.nrows inn.i_state > 2 * !max_active then None
+      else begin
+        match Simplex.solve inn.i_state with
+        | Simplex.Infeasible -> None
+        | Simplex.Unknown ->
+            (* Repair stalled at the pivot cap: retry from scratch. *)
+            Simplex.(counters.warm_fallbacks <- counters.warm_fallbacks + 1);
+            fit_cold ~terms cons
+        | Simplex.Feasible coeffs -> (
+            let coeffs_f = Array.map Q.to_float coeffs in
+            let viols = ref [] in
+            for i = 0 to m - 1 do
+              let k = key_of cons.(i).r in
+              if not (Hashtbl.mem inn.i_keys k) then begin
+                let v = violation coeffs_f i in
+                if v > 0.0 then viols := (v, k) :: !viols
+              end
+            done;
+            match !viols with
+            | [] -> Some (Array.mapi (fun j c -> Q.mul_pow2 c (terms.(j) * inn.i_sigma)) coeffs)
+            | vs ->
+                let vs = List.sort (fun ((a : float), _) (b, _) -> compare b a) vs in
+                List.iteri (fun p (_, k) -> if p < 16 then add_key k) vs;
+                loop (rounds + 1))
+      end
+    in
+    loop 0
+  end
+
+let fit ?session ~terms cons =
+  match session with None -> fit_cold ~terms cons | Some s -> fit_warm s ~terms cons

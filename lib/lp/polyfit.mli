@@ -20,12 +20,35 @@
 
 type constr = { r : float; lo : float; hi : float }
 
+(** A warm-start handle for a *family* of related fit calls — one
+    sub-domain (or sub-domain lineage) of Algorithm 4.  The session
+    keeps the LP active set alive between calls as an incremental
+    {!Simplex.state} (previous basis repaired by dual simplex instead of
+    re-solved) and caches the exact constraint rows per reduced input.
+    Passing the same session for unrelated constraint sets is safe —
+    vanished inputs are dropped and bounds are re-synced every call, and
+    a term-structure or domain-scale change rebuilds the session — it
+    just won't be warm. *)
+type session
+
+val new_session : unit -> session
+
+(** Independent deep copy; used to seed a child sub-domain's session
+    from its parent's after an Algorithm-3 split. *)
+val clone_session : session -> session
+
 (** [fit ~terms cons] returns coefficients (aligned with [terms], as
     exact rationals) of a polynomial satisfying every constraint in the
     LP's rounded view of [cons], or [None] when the LP proves the system
     infeasible / gives up.  [terms] must be strictly increasing
-    exponents, e.g. [[|0;1;2;3|]] or [[|1;3;5|]]. *)
-val fit : terms:int array -> constr array -> Rational.t array option
+    exponents, e.g. [[|0;1;2;3|]] or [[|1;3;5|]].
+
+    Without [?session] this is the cold path: a fresh active-set LP,
+    solved from scratch — deterministic, and the differential reference.
+    With [?session] the call is warm-started from the session's live
+    basis.  Warm and cold agree on [Some]/[None] (both are exact) but
+    may return different coefficient vectors. *)
+val fit : ?session:session -> terms:int array -> constr array -> Rational.t array option
 
 (** Evaluate a fitted polynomial (exact coefficients) at a double point,
     exactly. *)

@@ -1,0 +1,103 @@
+(* The CI bench-regression gate: parsing of the machine-written
+   BENCH_<rev>.json shape, direction inference, and the synthetic
+   regression the ISSUE requires the gate to flag. *)
+
+let bench_json metrics =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"rev\": \"abc1234\",\n  \"date\": \"2026-01-01T00:00:00Z\",\n";
+  Buffer.add_string b "  \"metrics\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    %S: %.3f%s\n" k v (if i = List.length metrics - 1 then "" else ",")))
+    metrics;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let base_metrics =
+  [
+    ("bigint.mixed_small(512).speedup", 2.482);
+    ("gen.bfloat16_log2_s", 2.514);
+    ("gen.float32_log2_s", 2.2);
+    ("lp.warm_grow_speedup", 6.5);
+    ("lp.warm_grow_pivots", 15.0);
+  ]
+
+let test_parse_roundtrip () =
+  let parsed = Benchgate.parse_metrics (bench_json base_metrics) in
+  Alcotest.(check int) "all metrics parsed" (List.length base_metrics) (List.length parsed);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string) "key" k k';
+      Alcotest.(check (float 0.0005)) k v v')
+    base_metrics parsed
+
+let test_parse_rejects_garbage () =
+  Alcotest.check_raises "no metrics object" (Benchgate.Parse_error "missing \"\\\"metrics\\\"\"")
+    (fun () -> ignore (Benchgate.parse_metrics "{ \"rev\": \"x\" }"))
+
+let test_direction () =
+  Alcotest.(check bool) "time is lower-better" true
+    (Benchgate.direction_of "gen.float32_log2_s" = Benchgate.Lower_better);
+  Alcotest.(check bool) "speedup is higher-better" true
+    (Benchgate.direction_of "lp.warm_grow_speedup" = Benchgate.Higher_better);
+  Alcotest.(check bool) "gen is gated" true (Benchgate.gated "gen.float32_log2_s");
+  Alcotest.(check bool) "lp is gated" true (Benchgate.gated "lp.dense_solve_ns");
+  Alcotest.(check bool) "bigint is not gated" false (Benchgate.gated "bigint.mul.speedup")
+
+(* The acceptance scenario: a synthetic >25% wall-clock regression in a
+   gen.* metric must trip the gate. *)
+let test_flags_gen_regression () =
+  let curr = List.map (fun (k, v) -> if k = "gen.float32_log2_s" then (k, v *. 1.30) else (k, v)) base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  Alcotest.(check bool) "regression detected" true (Benchgate.any_regression vs);
+  let v = List.find (fun (v : Benchgate.verdict) -> v.key = "gen.float32_log2_s") vs in
+  Alcotest.(check bool) "the gen metric is the one flagged" true v.regressed;
+  Alcotest.(check int) "exactly one regression" 1
+    (List.length (List.filter (fun (v : Benchgate.verdict) -> v.regressed) vs))
+
+(* A speedup metric regresses by *dropping*. *)
+let test_flags_lp_speedup_drop () =
+  let curr = List.map (fun (k, v) -> if k = "lp.warm_grow_speedup" then (k, v /. 1.4) else (k, v)) base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  let v = List.find (fun (v : Benchgate.verdict) -> v.key = "lp.warm_grow_speedup") vs in
+  Alcotest.(check bool) "speedup drop flagged" true v.regressed
+
+let test_within_threshold_ok () =
+  let curr = List.map (fun (k, v) -> (k, v *. 1.10)) base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  Alcotest.(check bool) "10% drift passes a 25% gate" false (Benchgate.any_regression vs)
+
+(* Ungated families never fail the gate, however bad. *)
+let test_ungated_families_ignored () =
+  let curr =
+    List.map (fun (k, v) -> if k = "bigint.mixed_small(512).speedup" then (k, v /. 10.0) else (k, v)) base_metrics
+  in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  Alcotest.(check bool) "bigint collapse is informational" false (Benchgate.any_regression vs)
+
+(* Metrics present on only one side are skipped, both ways. *)
+let test_asymmetric_metrics_skipped () =
+  let curr = ("lp.new_metric_ns", 1.0) :: List.remove_assoc "lp.warm_grow_pivots" base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  Alcotest.(check bool) "no spurious regressions" false (Benchgate.any_regression vs);
+  Alcotest.(check bool) "dropped metric not compared" true
+    (not (List.exists (fun (v : Benchgate.verdict) -> v.key = "lp.warm_grow_pivots") vs));
+  Alcotest.(check bool) "new metric not compared" true
+    (not (List.exists (fun (v : Benchgate.verdict) -> v.key = "lp.new_metric_ns") vs))
+
+let () =
+  Alcotest.run "benchgate"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "direction + gating" `Quick test_direction;
+          Alcotest.test_case "flags >25% gen regression" `Quick test_flags_gen_regression;
+          Alcotest.test_case "flags lp speedup drop" `Quick test_flags_lp_speedup_drop;
+          Alcotest.test_case "within threshold passes" `Quick test_within_threshold_ok;
+          Alcotest.test_case "ungated families ignored" `Quick test_ungated_families_ignored;
+          Alcotest.test_case "asymmetric metrics skipped" `Quick test_asymmetric_metrics_skipped;
+        ] );
+    ]

@@ -217,6 +217,23 @@ let prop_diff_gcd =
       let b, b' = nonzero_bigint_pair st (20 + Random.State.int st 300) in
       ref_eq (B.gcd (B.mul g a) (B.mul g b)) (Ref.gcd (Ref.mul g' a') (Ref.mul g' b')))
 
+let prop_diff_gcd_lehmer =
+  QCheck.Test.make ~name:"diff vs naive: gcd wide (multiple Lehmer rounds)" ~count:40 QCheck.unit
+    (fun () ->
+      let g, g' = nonzero_bigint_pair st (100 + Random.State.int st 300) in
+      let a, a' = nonzero_bigint_pair st (400 + Random.State.int st 1200) in
+      let b, b' = nonzero_bigint_pair st (400 + Random.State.int st 1200) in
+      ref_eq (B.gcd (B.mul g a) (B.mul g b)) (Ref.gcd (Ref.mul g' a') (Ref.mul g' b')))
+
+(* Consecutive Fibonacci numbers: every Euclid quotient is 1, the
+   maximal-cofactor-growth case for the Lehmer inner loop. *)
+let test_gcd_fibonacci () =
+  let rec fib a b n = if n = 0 then (a, b) else fib b (B.add a b) (n - 1) in
+  let fa, fb = fib B.one B.one 600 in
+  Alcotest.(check bool) "gcd(F_601, F_602) = 1" true (B.equal B.one (B.gcd fa fb));
+  let g = B.of_string "123456789123456789123456789123456789" in
+  Alcotest.(check bool) "shared-factor fib gcd" true (B.equal g (B.gcd (B.mul fa g) (B.mul fb g)))
+
 let prop_diff_string =
   QCheck.Test.make ~name:"diff vs naive: of_string chunking" ~count:300 QCheck.unit (fun () ->
       let a, a' = bigint_pair st (Random.State.int st 700) in
@@ -257,6 +274,7 @@ let () =
           Alcotest.test_case "fixnum tier boundary" `Quick test_fixnum_boundary;
           Alcotest.test_case "is_pow2/low_bits/shift_add" `Quick test_new_queries;
           Alcotest.test_case "exhaustive small diff vs naive" `Quick test_exhaustive_small_diff;
+          Alcotest.test_case "gcd of consecutive Fibonaccis" `Quick test_gcd_fibonacci;
         ] );
       qsuite "properties"
         [ prop_divmod; prop_ring; prop_string; prop_gcd; prop_shift; prop_to_float_small ];
@@ -267,6 +285,7 @@ let () =
           prop_diff_mul_kara;
           prop_diff_mul_unbalanced;
           prop_diff_gcd;
+          prop_diff_gcd_lehmer;
           prop_diff_string;
           prop_shift_add;
           prop_low_bits;

@@ -82,6 +82,180 @@ let prop_simplex_farkas =
       S.feasible ~a ~b = S.Infeasible)
 
 (* ------------------------------------------------------------------ *)
+(* Revised vs reference, and the warm-started state.                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_system ?(nv_max = 4) ?(m_max = 25) () =
+  let nv = 1 + Random.State.int st nv_max in
+  let m = 1 + Random.State.int st m_max in
+  let a = Array.init m (fun _ -> Array.init nv (fun _ -> q (Random.State.int st 11 - 5))) in
+  let b =
+    Array.init m (fun _ -> Q.of_ints (Random.State.int st 21 - 10) (1 + Random.State.int st 4))
+  in
+  (a, b)
+
+let same_outcome r1 r2 =
+  match (r1, r2) with
+  | S.Feasible x, S.Feasible y -> Array.for_all2 Q.equal x y
+  | S.Infeasible, S.Infeasible | S.Unknown, S.Unknown -> true
+  | _ -> false
+
+let same_verdict r1 r2 =
+  match (r1, r2) with
+  | S.Feasible _, S.Feasible _ | S.Infeasible, S.Infeasible | S.Unknown, S.Unknown -> true
+  | _ -> false
+
+(* The revised kernel must replay the dense tableau *exactly*: same
+   verdict and the same returned point (bit-identical tables depend on
+   this). *)
+let prop_revised_replays_reference =
+  QCheck.Test.make ~name:"revised = dense reference (outcome and point)" ~count:300
+    QCheck.unit (fun () ->
+      let a, b = random_system () in
+      same_outcome (S.feasible ~a ~b) (S.feasible_reference ~a ~b))
+
+let prop_revised_replays_reference_small_refactor =
+  QCheck.Test.make ~name:"replay holds across refactorization boundaries" ~count:120
+    QCheck.unit (fun () ->
+      let saved = !S.refactor_interval in
+      S.refactor_interval := 1 + Random.State.int st 3;
+      let a, b = random_system () in
+      let ok = same_outcome (S.feasible ~a ~b) (S.feasible_reference ~a ~b) in
+      S.refactor_interval := saved;
+      ok)
+
+(* Klee-Minty-flavoured degenerate stack: many tight, redundant rows
+   around one vertex — the classic cycling trap Bland's rule avoids. *)
+let test_degenerate_cycling_guard () =
+  let nv = 3 in
+  let rows = ref [] in
+  for i = 0 to nv - 1 do
+    let r = Array.make nv Q.zero in
+    r.(i) <- Q.one;
+    rows := (Array.copy r, Q.zero) :: !rows;
+    r.(i) <- Q.minus_one;
+    rows := (r, Q.zero) :: !rows
+  done;
+  (* Redundant combinations of the tight rows, all through the origin. *)
+  for k = 0 to 9 do
+    let r = Array.init nv (fun j -> q (((k + j) mod 5) - 2)) in
+    rows := (r, Q.zero) :: !rows
+  done;
+  let rows = Array.of_list !rows in
+  let a = Array.map fst rows and b = Array.map snd rows in
+  (match S.feasible ~a ~b with
+  | S.Feasible x -> Array.iter (fun v -> Alcotest.check rational "origin" Q.zero v) x
+  | _ -> Alcotest.fail "degenerate system is feasible (origin)");
+  Alcotest.(check bool) "matches reference" true
+    (same_outcome (S.feasible ~a ~b) (S.feasible_reference ~a ~b))
+
+(* Regression: the original dense kernel initialized the phase-1
+   criterion row to the z-row (artificial entries 1) rather than z - c
+   (0), overstating a departed artificial's reduced cost by 1; the
+   artificial could wrongly re-enter, corrupting the "objective rhs =
+   artificial sum" invariant, and this two-row system — y >= 3/4 and
+   y <= -2/3 — came back Feasible.  Artificials are now barred from
+   re-entering (in both kernels). *)
+let test_artificial_reentry_soundness () =
+  let a = [| [| q 0; q (-4); q 0 |]; [| q 0; q 1; q 0 |] |] in
+  let b = [| q (-3); Q.of_ints (-2) 3 |] in
+  Alcotest.(check bool) "reference sound" true (S.feasible_reference ~a ~b = S.Infeasible);
+  Alcotest.(check bool) "revised sound" true (S.feasible ~a ~b = S.Infeasible);
+  let stt = S.create ~nv:3 in
+  Array.iteri (fun i row -> ignore (S.add_row stt row b.(i))) a;
+  Alcotest.(check bool) "warm sound" true (S.solve stt = S.Infeasible)
+
+let test_infeasible_variants () =
+  (* Plain contradiction. *)
+  let a = [| [| q 2; q 3 |]; [| q (-2); q (-3) |] |] in
+  let b = [| q 1; q (-2) |] in
+  Alcotest.(check bool) "band" true (S.feasible ~a ~b = S.Infeasible);
+  (* Infeasibility only visible through a combination of three rows. *)
+  let a = [| [| q 1; q 1 |]; [| q 1; q (-1) |]; [| q (-1); q 0 |] |] in
+  let b = [| q 0; q 0; q (-1) |] in
+  Alcotest.(check bool) "triple" true (S.feasible ~a ~b = S.Infeasible)
+
+let warm_of_system a b =
+  let stt = S.create ~nv:(Array.length a.(0)) in
+  Array.iteri (fun i row -> ignore (S.add_row stt row b.(i))) a;
+  stt
+
+let test_warm_basic () =
+  let a = [| [| q 1 |]; [| q (-1) |] |] and b = [| q 3; q (-1) |] in
+  let stt = warm_of_system a b in
+  Alcotest.(check bool) "feasible" true (feasible_point a b (S.solve stt));
+  (* Tighten to infeasible via set_rhs, then loosen back. *)
+  S.set_rhs stt 0 (q 0);
+  Alcotest.(check bool) "tightened" true (S.solve stt = S.Infeasible);
+  S.set_rhs stt 0 (q 3);
+  Alcotest.(check bool) "loosened" true (feasible_point a b (S.solve stt))
+
+let test_warm_drop_rows () =
+  let a = [| [| q 1; q 0 |]; [| q 0; q 1 |]; [| q (-1); q 0 |]; [| q (-1); q (-1) |] |] in
+  let b = [| q 2; q 2; q (-1); q (-10) |] in
+  let stt = warm_of_system a b in
+  Alcotest.(check bool) "over-constrained infeasible" true (S.solve stt = S.Infeasible);
+  (* Dropping the contradictory row restores feasibility. *)
+  S.drop_rows stt ~keep:(fun i -> i <> 3);
+  let a' = [| a.(0); a.(1); a.(2) |] and b' = [| b.(0); b.(1); b.(2) |] in
+  Alcotest.(check bool) "after drop" true (feasible_point a' b' (S.solve stt));
+  Alcotest.(check int) "row count" 3 (S.nrows stt)
+
+(* The differential suite the issue asks for: grow a random system row
+   by row; after every edit the warm verdict must equal a cold solve of
+   the same system.  Also exercises copy + drop_rows divergence. *)
+let prop_warm_equals_cold_grown =
+  QCheck.Test.make ~name:"warm solve = cold solve on grown systems" ~count:120 QCheck.unit
+    (fun () ->
+      let nv = 1 + Random.State.int st 3 in
+      let stt = S.create ~nv in
+      let rows = ref [] in
+      let steps = 3 + Random.State.int st 12 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let row = Array.init nv (fun _ -> q (Random.State.int st 9 - 4)) in
+        let rhs = Q.of_ints (Random.State.int st 15 - 7) (1 + Random.State.int st 3) in
+        ignore (S.add_row stt row rhs);
+        rows := (row, rhs) :: !rows;
+        let sys = Array.of_list (List.rev !rows) in
+        let a = Array.map fst sys and b = Array.map snd sys in
+        let warm = S.solve stt and cold = S.feasible ~a ~b in
+        (match warm with
+        | S.Feasible x ->
+            Array.iteri
+              (fun i r ->
+                let v = ref Q.zero in
+                Array.iteri (fun j c -> v := Q.add !v (Q.mul c x.(j))) r;
+                if Q.compare !v b.(i) > 0 then ok := false)
+              a
+        | _ -> ());
+        if not (same_verdict warm cold) then ok := false
+      done;
+      !ok)
+
+let prop_warm_drop_rows_random =
+  QCheck.Test.make ~name:"drop_rows keeps warm = cold" ~count:80 QCheck.unit (fun () ->
+      let nv = 1 + Random.State.int st 3 in
+      let m = 4 + Random.State.int st 12 in
+      let a = Array.init m (fun _ -> Array.init nv (fun _ -> q (Random.State.int st 9 - 4))) in
+      let b = Array.init m (fun _ -> Q.of_ints (Random.State.int st 15 - 7) (1 + Random.State.int st 3)) in
+      let stt = warm_of_system a b in
+      ignore (S.solve stt);
+      (* Keep a random subset (the copy keeps solving the full system). *)
+      let keep = Array.init m (fun _ -> Random.State.bool st) in
+      if not (Array.exists Fun.id keep) then keep.(0) <- true;
+      let clone = S.copy stt in
+      S.drop_rows stt ~keep:(fun i -> keep.(i));
+      let idx = ref [] in
+      for i = m - 1 downto 0 do
+        if keep.(i) then idx := i :: !idx
+      done;
+      let idx = Array.of_list !idx in
+      let a' = Array.map (fun i -> a.(i)) idx and b' = Array.map (fun i -> b.(i)) idx in
+      same_verdict (S.solve stt) (S.feasible ~a:a' ~b:b')
+      && same_verdict (S.solve clone) (S.feasible ~a ~b))
+
+(* ------------------------------------------------------------------ *)
 (* Polyfit.                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,6 +382,17 @@ let () =
         ] );
       qsuite "simplex-properties"
         [ prop_simplex_random_feasible; prop_simplex_farkas; prop_simplex_deterministic ];
+      ( "simplex-revised",
+        [
+          Alcotest.test_case "degenerate cycling guard" `Quick test_degenerate_cycling_guard;
+          Alcotest.test_case "artificial re-entry soundness" `Quick test_artificial_reentry_soundness;
+          Alcotest.test_case "infeasible variants" `Quick test_infeasible_variants;
+          Alcotest.test_case "warm basic" `Quick test_warm_basic;
+          Alcotest.test_case "warm drop rows" `Quick test_warm_drop_rows;
+        ] );
+      qsuite "simplex-replay"
+        [ prop_revised_replays_reference; prop_revised_replays_reference_small_refactor ];
+      qsuite "simplex-warm" [ prop_warm_equals_cold_grown; prop_warm_drop_rows_random ];
       ( "polyfit",
         [
           Alcotest.test_case "cubic" `Quick test_fit_cubic;
