@@ -3,7 +3,9 @@
 #   make check-fast   build + the fast test tier (@runtest: strided
 #                     16-bit subsets, engine determinism at jobs 1/2/4)
 #   make check-full   fast tier + @exhaustive (every bfloat16/float16
-#                     input of the differential suite, RLIBM_EXHAUSTIVE=1)
+#                     input of the differential suite — including all five
+#                     standard rounding modes derived from the float34
+#                     round-to-odd table — RLIBM_EXHAUSTIVE=1)
 #   make bench-json   exact-arithmetic + generator benches, results
 #                     written to BENCH_<rev>.json
 #
@@ -26,7 +28,7 @@ bench: build
 	dune exec bench/main.exe
 
 bench-json: build
-	dune exec bench/main.exe -- --json bigint rational lp gen
+	dune exec bench/main.exe -- --json bigint rational lp gen round
 
 clean:
 	dune clean

@@ -252,7 +252,10 @@ let ablation_sampling () =
   let all_lp, t_all =
     time (fun () ->
         Lp.Polyfit.fit ~terms:[| 0; 1; 2; 3 |]
-          (Array.map (fun (c : Rlibm.Reduced.constr) -> { Lp.Polyfit.r = c.r; lo = c.lo; hi = c.hi }) pos))
+          (Array.map
+             (fun (c : Rlibm.Reduced.constr) ->
+               { Lp.Polyfit.r = c.r; lo = c.lo; hi = c.hi; lo_open = c.lo_open; hi_open = c.hi_open })
+             pos))
   in
   Printf.printf "counterexample-guided: %.2fs (%s)\n" t_sampled
     (match sampled with Rlibm.Polygen.Found _ -> "found" | _ -> "no polynomial");
@@ -743,6 +746,42 @@ let gen () =
       ("warm", "gen.float32_log2_warm_s", { Rlibm.Config.default with lp_warm = true });
     ]
 
+(* Mode-polymorphic rounding machinery: interval computation per mode
+   (the nearest modes probe closed double boxes; the directed/odd modes
+   add one exact-rational midpoint test per endpoint) and the RLIBM-ALL
+   derived path — bfloat16 through the single float34 round-to-odd
+   table — against the directly generated bfloat16 table. *)
+let round_section () =
+  pr_header "ROUND: rounding intervals per mode (bfloat16, 1024 patterns)";
+  let module T = Fp.Bfloat16 in
+  let pats = patterns_of (module T) (inputs_for "log2") in
+  List.iter
+    (fun mode ->
+      let t =
+        measure_ns
+          (Staged.stage (fun () ->
+               let acc = ref 0.0 in
+               for i = 0 to batch - 1 do
+                 acc := !acc +. (Rlibm.Rounding.interval (module T) ~mode pats.(i)).lo
+               done;
+               !acc))
+      in
+      record (Printf.sprintf "round.interval_bf16_%s_ns" (Fp.Rounding_mode.to_string mode)) t;
+      Printf.printf "interval %-5s %12.0f ns\n%!" (Fp.Rounding_mode.to_string mode) t)
+    Fp.Rounding_mode.all;
+  pr_header "ROUND: direct bfloat16 log2 table vs derived-from-float34 (per 1024-input batch)";
+  let direct = Rlibm.Generator.compile (Funcs.Libm.get ~quality Funcs.Specs.bfloat16 "log2") in
+  let derived =
+    Funcs.Derived.fn ~quality (module T : Fp.Representation.S) ~mode:Fp.Rounding_mode.Rne "log2"
+  in
+  let t_direct = measure_ns (batch_fn direct pats) in
+  let t_derived = measure_ns (batch_fn derived pats) in
+  record "round.bf16_log2_direct_ns" t_direct;
+  record "round.bf16_log2_derived_ns" t_derived;
+  record "round.derived_over_direct_ratio" (t_derived /. t_direct);
+  Printf.printf "direct %12.0f ns   derived %12.0f ns   (%.2fx the direct cost)\n%!" t_direct
+    t_derived (t_derived /. t_direct)
+
 let write_json () =
   let rev =
     try
@@ -789,4 +828,5 @@ let () =
   if want "rational" then rational ();
   if want "lp" then lp ();
   if want "gen" then gen ();
+  if want "round" then round_section ();
   if json then write_json ()

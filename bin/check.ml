@@ -50,8 +50,9 @@ let check_function (t : Funcs.Specs.target) name ~fresh_per_stratum ~quality =
     match g.spec.special pat with
     | Some y -> y
     | None ->
-        Oracle.Elementary.correctly_rounded ~round:T.round_rational g.spec.oracle
-          (T.to_rational pat)
+        Oracle.Elementary.correctly_rounded
+          ~round:(T.round_rational ~mode:g.spec.mode)
+          g.spec.oracle (T.to_rational pat)
   in
   (* Sharded across domains: each shard counts into its own array; the
      shard-order element-wise sum makes the totals identical at every
@@ -90,8 +91,12 @@ let check_function (t : Funcs.Specs.target) name ~fresh_per_stratum ~quality =
   Printf.printf "          (enum = %d inputs, fresh = %d inputs)\n%!" (Array.length gen_set)
     (Array.length fresh)
 
+let label (t : Funcs.Specs.target) =
+  if t.mode = Fp.Rounding_mode.Rne then t.tname
+  else t.tname ^ "@" ^ Fp.Rounding_mode.to_string t.mode
+
 let run_table (t : Funcs.Specs.target) names ~fresh_per_stratum ~quality =
-  Printf.printf "=== %s correctness (wrong-result counts; paper Table %s) ===\n%!" t.tname
+  Printf.printf "=== %s correctness (wrong-result counts; paper Table %s) ===\n%!" (label t)
     (if t.tname = "posit32" then "2" else "1");
   List.iter
     (fun name ->
@@ -122,44 +127,122 @@ let fresh_term =
 let funcs_term =
   Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Check only this function (repeatable).")
 
-let table1 jobs quality fresh fns =
-  set_jobs jobs;
-  let names = if fns = [] then Funcs.Specs.float_functions else fns in
-  run_table Funcs.Specs.float32 names ~fresh_per_stratum:fresh ~quality
+let mode_conv =
+  let parse s =
+    match Fp.Rounding_mode.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg ("unknown rounding mode: " ^ s ^ " (want rne/rna/up/down/zero/odd)"))
+  in
+  Arg.conv (parse, Fp.Rounding_mode.pp)
 
-let table2 jobs quality fresh fns =
+let mode_term =
+  Arg.(value & opt (some mode_conv) None
+       & info [ "mode" ]
+           ~doc:"Check the target under this rounding mode (rne, rna, up, down, zero, odd).  \
+                 Non-nearest modes restrict the default function list to the odd-capable set.")
+
+let apply_mode mode (t : Funcs.Specs.target) =
+  match mode with None -> t | Some m -> Funcs.Specs.with_mode t m
+
+let default_names (t : Funcs.Specs.target) fns ~posit =
+  if fns <> [] then fns
+  else if t.mode <> Fp.Rounding_mode.Rne then Funcs.Specs.odd_functions
+  else if posit then Funcs.Specs.posit_functions
+  else Funcs.Specs.float_functions
+
+let table1 jobs quality fresh mode fns =
   set_jobs jobs;
-  let names = if fns = [] then Funcs.Specs.posit_functions else fns in
-  run_table Funcs.Specs.posit32 names ~fresh_per_stratum:fresh ~quality
+  let t = apply_mode mode Funcs.Specs.float32 in
+  run_table t (default_names t fns ~posit:false) ~fresh_per_stratum:fresh ~quality
+
+let table2 jobs quality fresh mode fns =
+  set_jobs jobs;
+  let t = apply_mode mode Funcs.Specs.posit32 in
+  run_table t (default_names t fns ~posit:true) ~fresh_per_stratum:fresh ~quality
 
 (* Table 1/2 with nothing sampled: every input of every 16-bit target.
    This is the scale where our guarantee equals the paper's. *)
-let table16 jobs quality fresh fns =
+let table16 jobs quality fresh mode fns =
   set_jobs jobs;
   List.iter
     (fun (t : Funcs.Specs.target) ->
-      let names =
-        if fns <> [] then fns
-        else if t.tname = "posit16" then Funcs.Specs.posit_functions
-        else Funcs.Specs.float_functions
-      in
-      run_table t names ~fresh_per_stratum:fresh ~quality)
+      let t = apply_mode mode t in
+      run_table t (default_names t fns ~posit:(t.tname = "posit16")) ~fresh_per_stratum:fresh
+        ~quality)
     [ Funcs.Specs.bfloat16; Funcs.Specs.float16; Funcs.Specs.posit16 ]
+
+(* RLIBM-ALL (Lim & Nagarakatte 2021) witness: evaluate bfloat16 and
+   float16 through the ONE float34 round-to-odd table, re-rounding its
+   27-bit output in each requested standard mode, and compare every
+   16-bit input against the mode-aware oracle.  A zero count per (target,
+   function, mode) is the paper's headline claim at full 16-bit scale. *)
+let derived jobs quality modes fns =
+  set_jobs jobs;
+  let names = if fns = [] then [ "log2"; "exp" ] else fns in
+  let modes = if modes = [] then Fp.Rounding_mode.standard else modes in
+  Printf.printf "=== derived from the single float34 round-to-odd table ===\n%!";
+  List.iter
+    (fun (base : Funcs.Specs.target) ->
+      List.iter
+        (fun name ->
+          List.iter
+            (fun mode ->
+              let t = Funcs.Specs.with_mode base mode in
+              let module T = (val t.repr) in
+              let spec = Funcs.Specs.by_name name t in
+              let f = Funcs.Derived.fn ~quality t.repr ~mode name in
+              let truth pat =
+                match spec.Rlibm.Spec.special pat with
+                | Some y -> y
+                | None ->
+                    Oracle.Elementary.correctly_rounded
+                      ~round:(T.round_rational ~mode)
+                      spec.Rlibm.Spec.oracle (T.to_rational pat)
+              in
+              let pats = Rlibm.Enumerate.exhaustive16 in
+              let wrong =
+                Parallel.fold_chunks ~n:(Array.length pats) ~combine:( + ) ~init:0
+                  (fun ~lo ~hi ->
+                    let bad = ref 0 in
+                    for k = lo to hi - 1 do
+                      let pat = pats.(k) in
+                      if not (value_equal (module T) (f pat) (truth pat)) then incr bad
+                    done;
+                    !bad)
+              in
+              Printf.printf "%-8s %-7s %-5s | %8d wrong of %d\n%!" base.tname name
+                (Fp.Rounding_mode.to_string mode)
+                wrong (Array.length pats))
+            modes)
+        names)
+    [ Funcs.Specs.bfloat16; Funcs.Specs.float16 ]
+
+let modes_term =
+  Arg.(value & opt_all mode_conv []
+       & info [ "mode" ]
+           ~doc:"Standard rounding mode to derive (repeatable; default: all five).")
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Float32 correctness table (paper Table 1)")
-    Term.(const table1 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table1 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Posit32 correctness table (paper Table 2)")
-    Term.(const table2 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table2 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
 
 let table16_cmd =
   Cmd.v
     (Cmd.info "table16"
        ~doc:"Exhaustive 16-bit correctness tables (every input of bfloat16/float16/posit16)")
-    Term.(const table16 $ jobs_term $ quality_term $ fresh_term $ funcs_term)
+    Term.(const table16 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
+
+let derived_cmd =
+  Cmd.v
+    (Cmd.info "derived"
+       ~doc:"Exhaustive 16-bit check of bfloat16/float16 in every standard rounding mode, \
+             all derived from the single float34 round-to-odd table (RLIBM-ALL)")
+    Term.(const derived $ jobs_term $ quality_term $ modes_term $ funcs_term)
 
 let () =
   let info = Cmd.info "check" ~doc:"RLIBM-32 correctness experiments (Tables 1-2)" in
-  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd; derived_cmd ]))

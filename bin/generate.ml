@@ -9,12 +9,29 @@ let target_of = function
   | "bfloat16" -> Funcs.Specs.bfloat16
   | "float16" -> Funcs.Specs.float16
   | "posit16" -> Funcs.Specs.posit16
+  | "float34" -> Funcs.Specs.float34
+  | "bfloat18" -> Funcs.Specs.bfloat18
+  | "float18" -> Funcs.Specs.float18
   | t -> invalid_arg ("unknown target: " ^ t)
 
 let names_for (t : Funcs.Specs.target) =
-  match t.tname with
-  | "posit32" | "posit16" -> Funcs.Specs.posit_functions
-  | _ -> Funcs.Specs.float_functions
+  if t.mode <> Fp.Rounding_mode.Rne then Funcs.Specs.odd_functions
+  else
+    match t.tname with
+    | "posit32" | "posit16" -> Funcs.Specs.posit_functions
+    | _ -> Funcs.Specs.float_functions
+
+(* "float32" for the default mode, "float32@up" otherwise — the RNE
+   output (what CI diffs against recorded dumps) stays byte-identical. *)
+let label (t : Funcs.Specs.target) =
+  if t.mode = Fp.Rounding_mode.Rne then t.tname
+  else t.tname ^ "@" ^ Fp.Rounding_mode.to_string t.mode
+
+(* Expand one named target into the requested mode variants. *)
+let targets_for tname mode all_modes =
+  let t = target_of tname in
+  if all_modes then List.map (Funcs.Specs.with_mode t) Fp.Rounding_mode.all
+  else match mode with None -> [ t ] | Some m -> [ Funcs.Specs.with_mode t m ]
 
 let cfg_of_lp_warm lp_warm =
   if lp_warm then Some { Rlibm.Config.default with lp_warm = true } else None
@@ -22,12 +39,13 @@ let cfg_of_lp_warm lp_warm =
 let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
   let t0 = Unix.gettimeofday () in
   match Funcs.Libm.get ~quality ?cfg t name with
+  | exception Invalid_argument msg -> Printf.printf "%-7s %-9s SKIPPED: %s\n%!" name (label t) msg
   | g ->
       let wall = Unix.gettimeofday () -. t0 in
       let s = g.Rlibm.Generator.stats in
       Array.iter
         (fun (c : Rlibm.Stats.component) ->
-          Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name t.tname
+          Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name (label t)
             c.cname wall s.n_inputs s.n_special c.n_constraints c.split_bits c.degree c.n_terms)
         s.per_component;
       if pass_stats then begin
@@ -42,18 +60,20 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
               l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots
               l.lp_warm_fallbacks l.lp_refactorizations
       end
-  | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name t.tname msg
+  | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name (label t) msg
 
-let stats jobs pass_stats lp_warm targets quality fns =
+let stats jobs pass_stats lp_warm targets mode all_modes quality fns =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let cfg = cfg_of_lp_warm lp_warm in
   Printf.printf "%-7s %-9s %-10s %6s %9s %7s %7s  %-5s %4s %4s\n" "func" "target" "component"
     "time_s" "inputs" "special" "reduced" "polys" "deg" "terms";
   List.iter
     (fun tname ->
-      let t = target_of tname in
-      let names = if fns = [] then names_for t else fns in
-      List.iter (run_one t quality ?cfg ~pass_stats) names)
+      List.iter
+        (fun t ->
+          let names = if fns = [] then names_for t else fns in
+          List.iter (run_one t quality ?cfg ~pass_stats) names)
+        (targets_for tname mode all_modes))
     targets
 
 let jobs_term =
@@ -68,7 +88,30 @@ let pass_stats_term =
 
 let targets_term =
   Arg.(value & opt_all string [ "float32"; "posit32" ]
-       & info [ "t"; "target" ] ~doc:"Target representation (repeatable).")
+       & info [ "t"; "target" ]
+           ~doc:"Target representation (repeatable): float32, posit32, bfloat16, float16, \
+                 posit16, or an odd extended target float34/bfloat18/float18.")
+
+let mode_conv =
+  let parse s =
+    match Fp.Rounding_mode.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg ("unknown rounding mode: " ^ s ^ " (want rne/rna/up/down/zero/odd)"))
+  in
+  Arg.conv (parse, Fp.Rounding_mode.pp)
+
+let mode_term =
+  Arg.(value & opt (some mode_conv) None
+       & info [ "mode" ]
+           ~doc:"Rounding mode for the target (rne, rna, up, down, zero, odd; default: the \
+                 target's own — RNE for IEEE targets, odd for the extended ones).  Non-nearest \
+                 modes restrict the default function list to the odd-capable set.")
+
+let all_modes_term =
+  Arg.(value & flag
+       & info [ "all-modes" ]
+           ~doc:"Run the target under every rounding mode (the five IEEE-754 modes plus \
+                 round-to-odd); overrides --mode.")
 
 let quality_term =
   Arg.(value
@@ -89,25 +132,29 @@ let lp_warm_term =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
-    Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
+    Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ mode_term
+          $ all_modes_term $ quality_term $ funcs_term)
 
 (* Bit-exact dump of the generated tables: every coefficient and scheme
    word as hex bits.  Diffing two dumps proves (or refutes) that a
    change to the exact-arithmetic substrate left the generated artifact
    bit-identical — the determinism contract CI leans on. *)
-let dump jobs lp_warm targets quality fns =
+let dump jobs lp_warm targets mode all_modes quality fns =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let cfg = cfg_of_lp_warm lp_warm in
   List.iter
     (fun tname ->
-      let t = target_of tname in
+      List.iter
+        (fun t ->
       let names = if fns = [] then names_for t else fns in
       List.iter
         (fun name ->
           match Funcs.Libm.get ~quality ?cfg t name with
-          | exception Failure msg -> Printf.printf "%s %s FAILED: %s\n%!" name t.tname msg
+          | exception Failure msg -> Printf.printf "%s %s FAILED: %s\n%!" name (label t) msg
+          | exception Invalid_argument msg ->
+              Printf.printf "%s %s SKIPPED: %s\n%!" name (label t) msg
           | g ->
-              Printf.printf "%s %s\n" name t.tname;
+              Printf.printf "%s %s\n" name (label t);
               Array.iteri
                 (fun pi (pw : Rlibm.Piecewise.t) ->
                   Printf.printf "piece %d terms %s\n" pi
@@ -127,12 +174,14 @@ let dump jobs lp_warm targets quality fns =
                   group "pos" pw.pos)
                 g.Rlibm.Generator.pieces)
         names)
+        (targets_for tname mode all_modes))
     targets
 
 let dump_cmd =
   Cmd.v
     (Cmd.info "dump" ~doc:"Bit-exact hex dump of the generated tables (for determinism diffs)")
-    Term.(const dump $ jobs_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
+    Term.(const dump $ jobs_term $ lp_warm_term $ targets_term $ mode_term $ all_modes_term
+          $ quality_term $ funcs_term)
 
 let () =
   let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
@@ -140,5 +189,6 @@ let () =
     (Cmd.eval
        (Cmd.group
           ~default:
-            Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ quality_term $ funcs_term)
+            Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term
+                  $ mode_term $ all_modes_term $ quality_term $ funcs_term)
           info [ stats_cmd; dump_cmd ]))

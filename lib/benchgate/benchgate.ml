@@ -26,7 +26,7 @@ let direction_of key =
 
 let gated key =
   let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
-  pfx "gen." || pfx "lp."
+  pfx "gen." || pfx "lp." || pfx "round."
 
 (* ------------------------------------------------------------------ *)
 (* Parsing.  The bench JSON is machine-written with a fixed shape       *)

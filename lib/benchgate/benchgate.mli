@@ -1,7 +1,7 @@
 (** Bench-regression gate over the BENCH_<rev>.json files written by
     [bench/main.exe --json]: pair up the metrics common to a baseline
-    and a current run, and fail when a [gen.*] or [lp.*] metric got
-    worse by more than a threshold (default 25%).  Other metric
+    and a current run, and fail when a [gen.*], [lp.*] or [round.*]
+    metric got worse by more than a threshold (default 25%).  Other metric
     families are reported but informational — the exact-arithmetic
     microbenchmarks carry their own speedup metrics and are noisier on
     shared runners. *)
@@ -13,7 +13,8 @@ type direction = Lower_better | Higher_better
     pivot/solve counts) should not grow. *)
 val direction_of : string -> direction
 
-(** True for the [gen.*] / [lp.*] families the gate fails on. *)
+(** True for the [gen.*] / [lp.*] / [round.*] families the gate fails
+    on. *)
 val gated : string -> bool
 
 exception Parse_error of string

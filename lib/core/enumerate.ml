@@ -19,6 +19,10 @@ let mix seed i =
 (** All patterns of a 16-bit representation. *)
 let exhaustive16 = Array.init 65536 (fun i -> i)
 
+(** All patterns of a [bits]-wide representation (18-bit extended
+    targets are still cheap to enumerate exhaustively). *)
+let exhaustive ~bits = Array.init (1 lsl bits) (fun i -> i)
+
 (** Stratified patterns for a 32-bit representation: 512 strata from the
     top 9 pattern bits, [per_stratum] members each (ends included). *)
 let stratified32 ?(seed = 1) ~per_stratum () =

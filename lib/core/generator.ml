@@ -29,7 +29,8 @@ let patterns_value_equal (module T : T_intf.S) a b =
   | T_intf.Nan, T_intf.Nan -> true
   | _ -> false
 
-(* Run-time path: pattern in, pattern out. *)
+(* Run-time path: pattern in, pattern out.  The final double -> pattern
+   step rounds under the spec's target mode. *)
 let eval_pattern (g : generated) pat =
   let module T = (val g.spec.repr : T_intf.S) in
   match g.spec.special pat with
@@ -38,7 +39,7 @@ let eval_pattern (g : generated) pat =
       let x = T.to_double pat in
       let rr = g.spec.reduce x in
       let v = Array.map (fun pw -> Piecewise.eval pw rr.r) g.pieces in
-      T.of_double (g.spec.compensate rr v)
+      T.of_double ~mode:g.spec.mode (g.spec.compensate rr v)
 
 (* Run-time path on doubles (for T = float32 this is the library entry
    point the benchmarks measure). *)
@@ -47,37 +48,43 @@ let eval_double (g : generated) x =
   T.to_double (eval_pattern g (T.of_double x))
 
 (* Compile the run-time path into a single closure: table/spec lookups
-   hoisted, per-component piecewise evaluators specialized, one scratch
-   buffer (the paper benchmarks generated C, where the compiler performs
-   the same specialization).  The returned closure is not reentrant. *)
+   hoisted, per-component piecewise evaluators specialized (the paper
+   benchmarks generated C, where the compiler performs the same
+   specialization).  The component scratch buffer is domain-local, so
+   the closure is reentrant across domains — Funcs.Batch and the
+   parallel validation harness call one compiled closure from every
+   worker. *)
 let compile (g : generated) =
   let module T = (val g.spec.repr : T_intf.S) in
   let special = g.spec.special in
   let reduce = g.spec.reduce in
   let compensate = g.spec.compensate in
+  let mode = g.spec.mode in
   let evals = Array.map Piecewise.compile g.pieces in
   let n = Array.length evals in
-  let v = Array.make (Stdlib.max n 1) 0.0 in
+  let scratch = Domain.DLS.new_key (fun () -> Array.make (Stdlib.max n 1) 0.0) in
   if n = 1 then begin
     let e0 = evals.(0) in
     fun pat ->
       match special pat with
       | Some out -> out
       | None ->
+          let v = Domain.DLS.get scratch in
           let rr = reduce (T.to_double pat) in
           v.(0) <- e0 rr.r;
-          T.of_double (compensate rr v)
+          T.of_double ~mode (compensate rr v)
   end
   else begin
     fun pat ->
       match special pat with
       | Some out -> out
       | None ->
+          let v = Domain.DLS.get scratch in
           let rr = reduce (T.to_double pat) in
           for i = 0 to n - 1 do
             v.(i) <- evals.(i) rr.r
           done;
-          T.of_double (compensate rr v)
+          T.of_double ~mode (compensate rr v)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -215,10 +222,11 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
     | Some _ -> D_special
     | None -> (
         let y =
-          Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
-            (T.to_rational pat)
+          Oracle.Elementary.correctly_rounded
+            ~round:(T.round_rational ~mode:spec.mode)
+            spec.oracle (T.to_rational pat)
         in
-        let interval = Rounding.interval spec.repr y in
+        let interval = Rounding.interval spec.repr ~mode:spec.mode y in
         match Reduced.deduce spec ~pattern:pat ~interval with
         | Error (Reduced.Oracle_escapes p) -> D_escape p
         | Ok (_rr, cons) -> D_ok (pat, y, cons))
@@ -252,14 +260,26 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
             match Hashtbl.find_opt merged.(i) key with
             | None -> Hashtbl.replace merged.(i) key c
             | Some prev ->
-                let lo = Float.max prev.lo c.lo and hi = Float.min prev.hi c.hi in
-                if lo > hi then
+                (* Intersect, tracking strict sides: the larger lo (or
+                   smaller hi) wins together with its flag; on a tie an
+                   open side wins. *)
+                let lo, lo_open =
+                  if c.lo > prev.lo then (c.lo, c.lo_open)
+                  else if c.lo < prev.lo then (prev.lo, prev.lo_open)
+                  else (prev.lo, prev.lo_open || c.lo_open)
+                in
+                let hi, hi_open =
+                  if c.hi < prev.hi then (c.hi, c.hi_open)
+                  else if c.hi > prev.hi then (prev.hi, prev.hi_open)
+                  else (prev.hi, prev.hi_open || c.hi_open)
+                in
+                if lo > hi || (lo = hi && (lo_open || hi_open)) then
                   failure :=
                     Some
                       (Printf.sprintf
                          "%s: no common reduced interval at r=%h (redesign range reduction)"
                          spec.name c.r)
-                else Hashtbl.replace merged.(i) key { c with lo; hi })
+                else Hashtbl.replace merged.(i) key { c with lo; hi; lo_open; hi_open })
           cons
   in
   Array.iter (fun chunk -> Array.iter (fun d -> if !failure = None then merge d) chunk) chunks;

@@ -25,8 +25,9 @@ val eval_pattern : generated -> int -> int
 val eval_double : generated -> float -> float
 
 (** Compile the run-time path into one specialized closure (hoisted
-    lookups, monomorphized Horner).  Uses an internal scratch buffer:
-    not reentrant across threads. *)
+    lookups, monomorphized Horner).  The scratch buffer is domain-local,
+    so the closure is reentrant: one compiled closure may be shared by
+    every worker domain. *)
 val compile : generated -> int -> int
 
 (** [generate ?cfg spec ~patterns] builds the function or explains why

@@ -13,14 +13,28 @@ let debug = match Sys.getenv_opt "RLIBM_DEBUG" with Some ("1" | "true") -> true 
 type verdict = Found of float array | No_polynomial
 
 (* One LP-facing constraint: the working copy may be shrunk by
-   search-and-refine; [orig] keeps the true interval for Check. *)
-type slot = { orig : Reduced.constr; mutable lo : float; mutable hi : float }
+   search-and-refine; [orig] keeps the true interval for Check.  Strict
+   sides go closed as soon as a shrink moves the bound strictly inside
+   the original interval. *)
+type slot = {
+  orig : Reduced.constr;
+  mutable lo : float;
+  mutable hi : float;
+  mutable lo_open : bool;
+  mutable hi_open : bool;
+}
 
-let slot_of (c : Reduced.constr) = { orig = c; lo = c.lo; hi = c.hi }
+let slot_of (c : Reduced.constr) =
+  { orig = c; lo = c.lo; hi = c.hi; lo_open = c.lo_open; hi_open = c.hi_open }
+
+let inside_slot s v =
+  (if s.lo_open then v > s.lo else v >= s.lo)
+  && if s.hi_open then v < s.hi else v <= s.hi
 
 let check_one ~terms coeffs (c : Reduced.constr) =
   let v = Polyeval.eval ~terms coeffs c.r in
-  v >= c.lo && v <= c.hi
+  (if c.lo_open then v > c.lo else v >= c.lo)
+  && if c.hi_open then v < c.hi else v <= c.hi
 
 (* Algorithm 4's Check over the full sub-domain constraint set:
    violation indices in ascending order.  Shards across domains past
@@ -95,7 +109,16 @@ let gen_with ?session ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.const
           if !refine > refine_cap then give_up := true
           else begin
             let lp_cons =
-              Array.map (fun s -> { Lp.Polyfit.r = s.orig.r; lo = s.lo; hi = s.hi }) !slots
+              Array.map
+                (fun s ->
+                  {
+                    Lp.Polyfit.r = s.orig.r;
+                    lo = s.lo;
+                    hi = s.hi;
+                    lo_open = s.lo_open;
+                    hi_open = s.hi_open;
+                  })
+                !slots
             in
             let t_fit = if debug then Sys.time () else 0.0 in
             let fit_result = Lp.Polyfit.fit ?session ~terms lp_cons in
@@ -112,19 +135,27 @@ let gen_with ?session ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.const
                   Array.to_seq !slots
                   |> Seq.filter (fun s ->
                          let v = Polyeval.eval ~terms dc s.orig.r in
-                         not (v >= s.lo && v <= s.hi))
+                         not (inside_slot s v))
                   |> List.of_seq
                 in
                 match bad with
                 | [] -> coeffs := Some dc
                 | _ ->
                     (* Shrink the violated sample intervals one H-step
-                       (search-and-refine) and ask the LP again. *)
+                       (search-and-refine) and ask the LP again.  A
+                       shrunk bound is strictly inside the original
+                       interval, so its side is no longer strict. *)
                     List.iter
                       (fun s ->
                         let v = Polyeval.eval ~terms dc s.orig.r in
-                        if v < s.lo then s.lo <- Fp.Fp64.next_up s.lo
-                        else s.hi <- Fp.Fp64.next_down s.hi;
+                        if (if s.lo_open then v <= s.lo else v < s.lo) then begin
+                          s.lo <- Fp.Fp64.next_up s.lo;
+                          s.lo_open <- false
+                        end
+                        else begin
+                          s.hi <- Fp.Fp64.next_down s.hi;
+                          s.hi_open <- false
+                        end;
                         if s.lo > s.hi then give_up := true)
                       bad)
           end
@@ -163,7 +194,16 @@ let shrink_by factor (c : Reduced.constr) =
   let w = Float.max w floor_w in
   let lo = Float.max c.lo (c.mid -. w) in
   let hi = Float.min c.hi (c.mid +. w) in
-  if lo <= hi && Float.is_finite w then { c with lo; hi } else c
+  if lo <= hi && Float.is_finite w then
+    (* A side the tube moved strictly inside the interval is closed. *)
+    {
+      c with
+      lo;
+      hi;
+      lo_open = c.lo_open && lo = c.lo;
+      hi_open = c.hi_open && hi = c.hi;
+    }
+  else c
 
 let shrink = shrink_by 65536.0
 

@@ -12,6 +12,11 @@ type constr = {
   r : float;
   lo : float;
   hi : float;
+  lo_open : bool;
+  hi_open : bool;
+      (* Strict sides, inherited from a half-open rounding interval
+         (directed/odd modes) when the boundary's preimage in component
+         space is exact — see the openness transfer below. *)
   mid : float;
       (* the correctly-rounded-to-double component value (Algorithm 2's
          starting point, possibly nudged): always inside [lo, hi].  The
@@ -73,9 +78,29 @@ let deduce (spec : Spec.t) ~pattern ~(interval : Rounding.t) =
     in
     let kd = Rounding.search_max (fun k -> ok (-k)) max_widen in
     let ku = Rounding.search_max ok max_widen in
+    (* Openness transfer.  The widening above probes doubles, so the
+       boxes it returns are closed.  When the rounding interval has an
+       open side, the true component constraint is strict exactly when
+       the next double step lands compensation *on* the open boundary:
+       then that component value is the boundary's exact preimage, every
+       value strictly inside it is admissible, and the constraint
+       becomes a strict inequality for the LP.  If compensation
+       overshoots the boundary instead, the closed double box is already
+       maximal and stays closed (sound either way — the final validation
+       pass re-checks the run-time path). *)
+    let step k = spec.compensate rr (Array.map (fun vi -> Fp.Fp64.advance vi k) v) in
+    let hi_ext = interval.hi_open && step (ku + 1) = interval.hi in
+    let lo_ext = interval.lo_open && step (-(kd + 1)) = interval.lo in
     let cons =
       Array.init n (fun i ->
-          { r = rr.r; lo = Fp.Fp64.advance v.(i) (-kd); hi = Fp.Fp64.advance v.(i) ku; mid = v.(i) })
+          {
+            r = rr.r;
+            lo = Fp.Fp64.advance v.(i) (-(kd + if lo_ext then 1 else 0));
+            hi = Fp.Fp64.advance v.(i) (ku + if hi_ext then 1 else 0);
+            lo_open = lo_ext;
+            hi_open = hi_ext;
+            mid = v.(i);
+          })
     in
     Ok (rr, cons)
   end

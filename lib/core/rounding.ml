@@ -1,27 +1,43 @@
-(* Rounding intervals (Algorithm 1, lines 14-17).
+(* Rounding intervals (Algorithm 1, lines 14-17), mode-polymorphic.
 
-   For a target value y of representation T, the rounding interval is
-   the set of doubles v with RN_T(v) = y.  Because RN_T is monotone on
-   the double line, the interval's endpoints can be found by an
-   exponential bracket followed by binary search on the monotone integer
-   key of the double space — representation-agnostic, so the same code
-   serves floats and posits. *)
+   For a target value y of representation T and rounding mode m, the
+   rounding interval is the set of reals v with round_{T,m}(v) = y.
+   Because rounding is monotone on the double line, the double endpoints
+   can be found by an exponential bracket followed by binary search on
+   the monotone integer key of the double space — representation-
+   agnostic, so the same code serves floats and posits.
 
-type t = { lo : float; hi : float }
+   The nearest modes (RNE/RNA) keep the classic closed formulation over
+   doubles: their region boundaries are midpoints of adjacent target
+   values, and closing the box at the outermost *double* inside the
+   region loses nothing a double-evaluated polynomial could use.  The
+   directed modes and round-to-odd have half-open regions whose open
+   boundary sits exactly on a representable value; for those the
+   interval records the true boundary with an openness flag, and the LP
+   layer turns the open side into a strict inequality. *)
 
-let contains i v = v >= i.lo && v <= i.hi
+type t = { lo : float; hi : float; lo_open : bool; hi_open : bool }
+
+let closed lo hi = { lo; hi; lo_open = false; hi_open = false }
+
+let contains i v =
+  (if i.lo_open then v > i.lo else v >= i.lo)
+  && if i.hi_open then v < i.hi else v <= i.hi
+
 let width_ulps i = Fp.Fp64.steps i.lo i.hi
 
 (* Largest k in [0, bound] with (pred k) true, where pred is monotone
-   (true then false as k grows); requires pred 0. *)
+   (true then false as k grows); requires pred 0 and bound >= 0. *)
 let search_max pred bound =
   if pred bound then bound
   else begin
-    (* Exponential bracket. *)
+    (* Exponential bracket.  The doubling is clamped at [bound]: for
+       bounds past max_int/2 a bare [!hi * 2] would wrap negative and
+       feed garbage steps to [pred]. *)
     let lo = ref 0 and hi = ref 1 in
     while !hi < bound && pred !hi do
       lo := !hi;
-      hi := !hi * 2
+      hi := if !hi > bound / 2 then bound else !hi * 2
     done;
     let hi = ref (Stdlib.min !hi bound) in
     (* Invariant: pred !lo, not (pred !hi). *)
@@ -32,18 +48,23 @@ let search_max pred bound =
     !lo
   end
 
-(* How far (in double ulps) the search may ever need to reach: the gap
-   between consecutive representable values of any of our targets is at
-   most ~2^96 doubles away from the value itself (posit32 regimes). *)
-let max_reach = 1 lsl 62 - 1
+(* How far (in double ulps) the search may ever need to reach.  The
+   deepest case is an IEEE infinity pattern, whose region runs from the
+   target's overflow boundary to double infinity: for float16 that is
+   every double from ~2^16 up, (2047 - 1039) binades x 2^52 ulps each,
+   about 4.54e18 steps — just inside max_int = 2^62 - 1.  (Finite
+   patterns are far cheaper; the widest is posit32's outermost regime at
+   under 2^57 steps.)  The clamped doubling above makes this bound safe;
+   the seed's unclamped loop only survived [1 lsl 62 - 1] by wrapping
+   through min_int. *)
+let max_reach = Stdlib.max_int
 
-(** [interval (module T) y] is the rounding interval of the finite
-    pattern [y]: every double in it rounds to a pattern representing the
-    same value as [y] under [T.of_double], and no double outside does.
-    Equality is up to the sign of zero — the +0 and -0 patterns denote
-    one value, and treating them as distinct would pin the reduced
-    constraints of odd functions at exact zeros to empty boxes. *)
-let interval (module T : Fp.Representation.S) y =
+(** [interval (module T) ?mode y] is the rounding interval of the finite
+    pattern [y] under [mode] (default RNE).  Equality is up to the sign
+    of zero — the +0 and -0 patterns denote one value, and treating them
+    as distinct would pin the reduced constraints of odd functions at
+    exact zeros to empty boxes. *)
+let interval (module T : Fp.Representation.S) ?(mode = Fp.Rounding_mode.Rne) y =
   let v0 = T.to_double y in
   let same p =
     p = y
@@ -52,10 +73,34 @@ let interval (module T : Fp.Representation.S) y =
     | Fp.Representation.Finite, Fp.Representation.Finite -> T.to_double p = T.to_double y
     | _ -> false
   in
-  (* v0 is exact, so it certainly rounds back to y. *)
-  assert (same (T.of_double v0));
-  let down k = same (T.of_double (Fp.Fp64.advance v0 (-k))) in
-  let up k = same (T.of_double (Fp.Fp64.advance v0 k)) in
+  (* v0 is exact, so it certainly rounds back to y in every mode. *)
+  assert (same (T.of_double ~mode v0));
+  let down k = same (T.of_double ~mode (Fp.Fp64.advance v0 (-k))) in
+  let up k = same (T.of_double ~mode (Fp.Fp64.advance v0 k)) in
   let kd = search_max down max_reach in
   let ku = search_max up max_reach in
-  { lo = Fp.Fp64.advance v0 (-kd); hi = Fp.Fp64.advance v0 ku }
+  let lo_d = Fp.Fp64.advance v0 (-kd) and hi_d = Fp.Fp64.advance v0 ku in
+  if Fp.Rounding_mode.nearest mode then closed lo_d hi_d
+  else begin
+    (* Non-nearest modes: decide whether the real region continues past
+       the outermost double.  All region boundaries are exactly
+       representable doubles (target values), so the region either stops
+       at the probed double (closed) or extends to the next double
+       exclusive (open).  The reals strictly between the two doubles
+       tell them apart; test one — their exact midpoint. *)
+    let extends a b =
+      Float.is_finite a && Float.is_finite b && a <> b
+      &&
+      let midq = Rational.mul_pow2 (Rational.add (Rational.of_float a) (Rational.of_float b)) (-1) in
+      same (T.round_rational ~mode midq)
+    in
+    let lo, lo_open =
+      let b = Fp.Fp64.next_down lo_d in
+      if kd < max_reach && extends lo_d b then (b, true) else (lo_d, false)
+    in
+    let hi, hi_open =
+      let b = Fp.Fp64.next_up hi_d in
+      if ku < max_reach && extends hi_d b then (b, true) else (hi_d, false)
+    in
+    { lo; hi; lo_open; hi_open }
+  end

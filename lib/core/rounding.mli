@@ -1,23 +1,43 @@
-(** Rounding intervals (Algorithm 1, lines 14–17).
+(** Rounding intervals (Algorithm 1, lines 14–17), mode-polymorphic.
 
-    The rounding interval of a target value [y] is the set of doubles
-    that round to (a pattern with the value of) [y] under the target's
-    round-to-nearest.  Membership is up to the sign of zero: the +0 and
-    -0 patterns denote one value. *)
+    The rounding interval of a target value [y] under a rounding mode is
+    the set of reals that round to (a pattern with the value of) [y].
+    Membership is up to the sign of zero: the +0 and -0 patterns denote
+    one value.
 
-type t = { lo : float; hi : float }
+    Under the nearest modes the interval is a closed box of doubles (the
+    classic RLIBM formulation).  Under the directed modes and
+    round-to-odd the region is half-open with its open boundary on a
+    representable value; the openness flags record which sides are
+    strict, and the LP layer assembles those sides as strict
+    inequalities. *)
 
-(** [contains i v]: closed-interval membership. *)
+type t = { lo : float; hi : float; lo_open : bool; hi_open : bool }
+
+(** A closed interval (both flags false). *)
+val closed : float -> float -> t
+
+(** [contains i v]: interval membership honoring the openness flags. *)
 val contains : t -> float -> bool
 
-(** Width counted in representable doubles. *)
+(** Width counted in representable doubles between the stored
+    endpoints. *)
 val width_ulps : t -> int64
 
 (** [search_max pred bound] is the largest [k <= bound] with [pred k],
     for a monotone predicate with [pred 0] (exponential bracket + binary
-    search). *)
+    search).  Safe for bounds up to [max_int]: the doubling is clamped,
+    so it never overflows. *)
 val search_max : (int -> bool) -> int -> int
 
-(** [interval (module T) y] computes the rounding interval of the
-    finite pattern [y] by monotone search over the double line. *)
-val interval : (module Fp.Representation.S) -> int -> t
+(** Bound on the exponential bracket of {!interval}'s endpoint search,
+    in double ulps.  The deepest real case is an IEEE infinity
+    pattern's region, reaching from the overflow boundary to double
+    infinity (~4.5e18 steps for float16), so the bound is [max_int]
+    itself — safe because {!search_max} clamps its doubling. *)
+val max_reach : int
+
+(** [interval (module T) ?mode y] computes the rounding interval of the
+    finite pattern [y] under [mode] (default RNE) by monotone search
+    over the double line. *)
+val interval : (module Fp.Representation.S) -> ?mode:Fp.Rounding_mode.t -> int -> t

@@ -30,6 +30,12 @@ type component = {
 type t = {
   name : string;
   repr : (module Fp.Representation.S);
+  mode : Fp.Rounding_mode.t;
+      (* The target rounding mode: the oracle result, the rounding
+         intervals and the run-time double -> pattern step all round
+         under it.  RNE for ordinary targets; Odd for the extended
+         (n+2)-bit tables of the RLIBM-ALL construction, whose results
+         then serve every standard mode by re-rounding. *)
   oracle : Oracle.Elementary.fn;  (* f itself, exact over rationals *)
   special : int -> int option;
       (* [special pattern] is [Some result_pattern] when the input is

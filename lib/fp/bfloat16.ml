@@ -8,8 +8,8 @@ let bits = 16
 let classify p = Ieee.classify fmt p
 let to_double p = Ieee.to_double fmt p
 let to_rational p = Ieee.to_rational fmt p
-let round_rational q = Ieee.round_rational fmt q
-let of_double x = Ieee.of_double fmt x
+let round_rational ?mode q = Ieee.round_rational fmt ?mode q
+let of_double ?mode x = Ieee.of_double fmt ?mode x
 let order_key p = Ieee.order_key fmt p
 let next_up p = Ieee.next_up fmt p
 let next_down p = Ieee.next_down fmt p

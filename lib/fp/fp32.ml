@@ -1,18 +1,24 @@
-(* IEEE-754 binary32, the paper's headline target type.  Conversions to
-   and from double use the hardware float path (OCaml's [Int32]
-   bit-casts go through a C float cast, i.e. hardware round-to-nearest-
-   even), which the tests cross-check against the exact rational
-   rounding of {!Ieee}. *)
+(* IEEE-754 binary32, the paper's headline target type.  Round-to-
+   nearest-even conversions to and from double use the hardware float
+   path (OCaml's [Int32] bit-casts go through a C float cast, i.e.
+   hardware round-to-nearest-even), which the tests cross-check against
+   the exact rational rounding of {!Ieee}; the other modes use the
+   integer rounding path, since the FPU's mode is not ours to flip. *)
 
 let fmt = Ieee.float32
 let name = "float32"
 let bits = 32
 let classify p = Ieee.classify fmt p
 let to_rational p = Ieee.to_rational fmt p
-let round_rational q = Ieee.round_rational fmt q
+let round_rational ?mode q = Ieee.round_rational fmt ?mode q
 let order_key p = Ieee.order_key fmt p
 let mask32 = (1 lsl 32) - 1
 let to_double p = Int32.float_of_bits (Int32.of_int p)
-let of_double x = Int32.to_int (Int32.bits_of_float x) land mask32
+
+let of_double ?(mode = Rounding_mode.Rne) x =
+  match mode with
+  | Rounding_mode.Rne -> Int32.to_int (Int32.bits_of_float x) land mask32
+  | _ -> Ieee.of_double fmt ~mode x
+
 let next_up p = Ieee.next_up fmt p
 let next_down p = Ieee.next_down fmt p

@@ -1,0 +1,51 @@
+(* The RLIBM-ALL derivation (Lim & Nagarakatte 2021): widen a base IEEE
+   format by two mantissa bits and generate its table under
+   round-to-odd.  Because round-to-odd keeps a sticky record of every
+   discarded bit and never lands on a tie, rounding the (n+2)-bit odd
+   result down to any format of at most n mantissa bits, in any of the
+   five standard modes, gives the same pattern as rounding the exact
+   real directly — so one table serves every representation/mode pair.
+
+   The functor is over the carrier of an {!Ieee.format} rather than a
+   full {!Representation.S} because the extension is an IEEE-bit-layout
+   construction (exponent range is preserved, the significand grows);
+   posits have no analogous two-bit widening in the standard. *)
+
+module type BASE = sig
+  val fmt : Ieee.format
+
+  (** Name of the extended format (e.g. "float34" for float32 + 2). *)
+  val ext_name : string
+end
+
+module Make (T : BASE) : sig
+  include Representation.S
+
+  val fmt : Ieee.format
+
+  (** [of_base_double x] embeds a double that is exactly representable
+      in the extended format (every base-format value is); rounding mode
+      is irrelevant on exact values. *)
+  val of_base_double : float -> int
+end = struct
+  let fmt = { Ieee.name = T.ext_name; eb = T.fmt.Ieee.eb; mb = T.fmt.Ieee.mb + 2 }
+  let name = T.ext_name
+  let bits = Ieee.width fmt
+  let classify p = Ieee.classify fmt p
+  let to_double p = Ieee.to_double fmt p
+  let to_rational p = Ieee.to_rational fmt p
+  let round_rational ?mode q = Ieee.round_rational fmt ?mode q
+  let of_double ?mode x = Ieee.of_double fmt ?mode x
+  let order_key p = Ieee.order_key fmt p
+  let next_up p = Ieee.next_up fmt p
+  let next_down p = Ieee.next_down fmt p
+  let of_base_double x = Ieee.of_double fmt x
+end
+
+(* [derive (module B) ~mode p ~of_ext] rounds an extended-format result
+   pattern [p] to base format [B] under [mode].  [of_ext] supplies the
+   extended pattern's double value (exact: mb + 2 <= 27 bits fit a
+   double's 53).  This is the "one table, every mode" evaluation step:
+   the extended value is the round-to-odd witness of the exact result. *)
+let derive (module B : Representation.S) ~mode ~to_ext_double p =
+  B.of_double ~mode (to_ext_double p)

@@ -21,21 +21,31 @@ module type S = sig
   (** Exact value of a [Finite] pattern as a rational. *)
   val to_rational : int -> Rational.t
 
-  (** Round an exact real to the nearest representable pattern, using the
-      format's own rules (IEEE round-to-nearest-even with overflow to
-      infinity; posit saturation, never rounding a nonzero value to
-      zero). *)
-  val round_rational : Rational.t -> int
+  (** Round an exact real to a representable pattern under [mode]
+      (default {!Rounding_mode.Rne}), using the format's own rules: IEEE
+      formats overflow to infinity under the nearest modes and saturate
+      at the largest finite value under the directed/odd modes; posits
+      always saturate and never round a nonzero value to zero. *)
+  val round_rational : ?mode:Rounding_mode.t -> Rational.t -> int
 
-  (** Round a double to the nearest pattern; must agree with
-      [round_rational (Rational.of_float x)] on finite [x] and be fast
-      enough for the benchmark loops. *)
-  val of_double : float -> int
+  (** Round a double to a pattern under [mode]; must agree with
+      [round_rational ?mode (Rational.of_float x)] on finite [x] and be
+      fast enough for the benchmark loops. *)
+  val of_double : ?mode:Rounding_mode.t -> float -> int
 
   (** Map a non-[Nan] pattern to an integer line monotone in the value it
       represents (IEEE formats are sign-magnitude, posits are two's
       complement, so each format supplies its own). *)
   val order_key : int -> int
+
+  (** Pattern of the next representable value above/below a non-[Nan]
+      pattern on the format's value order, saturating at the ends
+      (infinities for IEEE, NaR neighbors for posits).  Needed by the
+      mode-aware rounding-interval search, whose open boundaries sit on
+      neighbor values. *)
+  val next_up : int -> int
+
+  val next_down : int -> int
 end
 
 (** [ulp_distance (module T) a b] counts the representable values

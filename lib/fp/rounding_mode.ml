@@ -1,0 +1,63 @@
+(* First-class rounding modes for the whole pipeline (RLIBM-ALL, Lim &
+   Nagarakatte 2021).  The five IEEE-754 modes plus round-to-odd, the
+   auxiliary mode that makes one generated table serve every other mode:
+   rounding an (n+2)-bit round-to-odd result to n bits in any standard
+   mode equals rounding the exact real directly.
+
+   Round-to-odd truncates toward zero and then sets the significand's
+   last bit whenever any discarded bit was nonzero ("sticky").  It never
+   faces a tie, and the two guard bits absorb the double rounding. *)
+
+type t =
+  | Rne  (* round to nearest, ties to even — IEEE default *)
+  | Rna  (* round to nearest, ties away from zero *)
+  | Up  (* toward +infinity *)
+  | Down  (* toward -infinity *)
+  | Zero  (* toward zero (truncate) *)
+  | Odd  (* round to odd (von Neumann rounding) *)
+
+(* The five standard IEEE-754 modes; [Odd] is the internal table mode. *)
+let standard = [ Rne; Rna; Up; Down; Zero ]
+let all = standard @ [ Odd ]
+
+let to_string = function
+  | Rne -> "rne"
+  | Rna -> "rna"
+  | Up -> "up"
+  | Down -> "down"
+  | Zero -> "zero"
+  | Odd -> "odd"
+
+let of_string = function
+  | "rne" | "nearest" -> Some Rne
+  | "rna" | "away" -> Some Rna
+  | "up" | "ceil" -> Some Up
+  | "down" | "floor" -> Some Down
+  | "zero" | "trunc" -> Some Zero
+  | "odd" -> Some Odd
+  | _ -> None
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)
+
+(* [nearest m] is true for the two tie-breaking modes.  Their rounding
+   regions are closed boxes of doubles (the classic RLIBM formulation);
+   the directed modes and round-to-odd have half-open regions whose
+   boundaries are representable values, which is where the strict LP
+   inequalities below come in. *)
+let nearest = function Rne | Rna -> true | Up | Down | Zero | Odd -> false
+
+(* The single increment decision every binary format shares.  Given the
+   magnitude truncated to the target precision, decide whether to bump
+   it by one ulp:
+   [neg]      sign of the value being rounded;
+   [odd]      parity of the truncated significand's last kept bit;
+   [inexact]  any discarded bit nonzero;
+   [half_cmp] sign of (discarded part - half an ulp): -1, 0 or +1. *)
+let round_up ~mode ~neg ~odd ~inexact ~half_cmp =
+  match mode with
+  | Rne -> half_cmp > 0 || (half_cmp = 0 && odd)
+  | Rna -> half_cmp >= 0
+  | Zero -> false
+  | Up -> inexact && not neg
+  | Down -> inexact && neg
+  | Odd -> inexact && not odd

@@ -9,9 +9,10 @@
    pipeline.  The VEC bench section measures scalar-call vs batch.
 
    Large batches shard across domains via {!Parallel}: each shard owns a
-   disjoint [dst] slice and its own compiled evaluators (compiled
-   closures share scratch state and are not reentrant), so results are
-   the same bytes at every job count. *)
+   disjoint [dst] slice.  The compiled evaluator's scratch is
+   domain-local (see {!Rlibm.Generator.compile}), so one compiled
+   closure is shared by every worker and results are the same bytes at
+   every job count. *)
 
 module G = Rlibm.Generator
 
@@ -27,55 +28,19 @@ let run_sharded n shard_body =
     @raise Invalid_argument on length mismatch. *)
 let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
   if Array.length src <> Array.length dst then invalid_arg "Batch.eval_patterns: length mismatch";
-  let module T = (val g.spec.repr) in
-  let special = g.spec.special in
-  let reduce = g.spec.reduce in
-  let compensate = g.spec.compensate in
-  let shard ~lo ~hi =
-    (* Per-shard evaluators and scratch: compiled closures are not
-       reentrant across domains. *)
-    let evals = Array.map Rlibm.Piecewise.compile g.pieces in
-    let ncomp = Array.length evals in
-    let v = Array.make ncomp 0.0 in
-    for i = lo to hi - 1 do
-      let pat = src.(i) in
-      dst.(i) <-
-        (match special pat with
-        | Some out -> out
-        | None ->
-            let rr = reduce (T.to_double pat) in
-            for c = 0 to ncomp - 1 do
-              v.(c) <- evals.(c) rr.r
-            done;
-            T.of_double (compensate rr v))
-    done
-  in
-  run_sharded (Array.length src) shard
+  let f = G.compile g in
+  run_sharded (Array.length src) (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        dst.(i) <- f src.(i)
+      done)
 
 (** [eval_doubles g src dst] is the double-valued batch entry point (the
     arrays hold exact target values, as in the paper's harness). *)
 let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
   if Array.length src <> Array.length dst then invalid_arg "Batch.eval_doubles: length mismatch";
   let module T = (val g.spec.repr) in
-  let special = g.spec.special in
-  let reduce = g.spec.reduce in
-  let compensate = g.spec.compensate in
-  let shard ~lo ~hi =
-    let evals = Array.map Rlibm.Piecewise.compile g.pieces in
-    let ncomp = Array.length evals in
-    let v = Array.make ncomp 0.0 in
-    for i = lo to hi - 1 do
-      let x = src.(i) in
-      let pat = T.of_double x in
-      dst.(i) <-
-        (match special pat with
-        | Some out -> T.to_double out
-        | None ->
-            let rr = reduce x in
-            for c = 0 to ncomp - 1 do
-              v.(c) <- evals.(c) rr.r
-            done;
-            T.to_double (T.of_double (compensate rr v)))
-    done
-  in
-  run_sharded (Array.length src) shard
+  let f = G.compile g in
+  run_sharded (Array.length src) (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        dst.(i) <- T.to_double (f (T.of_double src.(i)))
+      done)

@@ -11,16 +11,45 @@ module G = Rlibm.Generator
 
 type quality = Draft | Quick | Full
 
+let per_stratum = function Draft -> 2 | Quick -> 8 | Full -> 24
+
+(* RLIBM-ALL enumeration for the float34 target: the exact embeddings of
+   every bfloat16 and every float16 pattern (the formats the single
+   to-odd table serves exhaustively, so their generation guarantee is
+   total), plus the standard stratified float32 sample, deduplicated and
+   sorted for a deterministic generation order. *)
+let float34_enumeration quality =
+  let module X = Specs.Float34 in
+  let tbl = Hashtbl.create (1 lsl 18) in
+  let add (module B : Fp.Representation.S) pats =
+    Array.iter (fun p -> Hashtbl.replace tbl (X.of_base_double (B.to_double p)) ()) pats
+  in
+  add (module Fp.Bfloat16) Rlibm.Enumerate.exhaustive16;
+  add (module Fp.Float16) Rlibm.Enumerate.exhaustive16;
+  add (module Fp.Fp32) (Rlibm.Enumerate.stratified32 ~per_stratum:(per_stratum quality) ());
+  let out = Array.make (Hashtbl.length tbl) 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun p () ->
+      out.(!k) <- p;
+      incr k)
+    tbl;
+  Array.sort compare out;
+  out
+
 (* Enumeration used to drive generation. *)
 let enumeration (t : Specs.target) quality =
   let module T = (val t.repr) in
-  match (T.bits, quality) with
-  | 16, _ -> Rlibm.Enumerate.exhaustive16
-  | _, Draft -> Rlibm.Enumerate.stratified32 ~per_stratum:2 ()
-  | _, Quick -> Rlibm.Enumerate.stratified32 ~per_stratum:8 ()
-  | _, Full -> Rlibm.Enumerate.stratified32 ~per_stratum:24 ()
+  if t.tname = "float34" then float34_enumeration quality
+  else
+    match T.bits with
+    | 16 -> Rlibm.Enumerate.exhaustive16
+    | 18 -> Rlibm.Enumerate.exhaustive ~bits:18
+    | _ -> Rlibm.Enumerate.stratified32 ~per_stratum:(per_stratum quality) ()
 
-let cache : (string * string * quality, G.generated) Hashtbl.t = Hashtbl.create 32
+let cache : (string * string * Fp.Rounding_mode.t * quality, G.generated) Hashtbl.t =
+  Hashtbl.create 32
+
 let cache_mu = Mutex.create ()
 
 (** Generate (or fetch) one function for one target.
@@ -28,16 +57,18 @@ let cache_mu = Mutex.create ()
 
     The lock is held across generation: concurrent callers of the same
     function wait for one generation instead of racing two, and
-    generation itself fans out internally via {!Parallel}. *)
+    generation itself fans out internally via {!Parallel}.  The cache
+    key includes the target's rounding mode, so [Specs.with_mode]
+    re-targets of the same representation don't collide. *)
 let get ?(quality = Full) ?cfg (t : Specs.target) name =
   Mutex.protect cache_mu @@ fun () ->
-  match Hashtbl.find_opt cache (name, t.tname, quality) with
+  match Hashtbl.find_opt cache (name, t.tname, t.mode, quality) with
   | Some g -> g
   | None -> (
       let spec = Specs.by_name name t in
       match G.generate ?cfg spec ~patterns:(enumeration t quality) with
       | Ok g ->
-          Hashtbl.replace cache (name, t.tname, quality) g;
+          Hashtbl.replace cache (name, t.tname, t.mode, quality) g;
           g
       | Error msg -> failwith ("Libm.get: generation failed: " ^ msg))
 

@@ -24,10 +24,24 @@ module Repr = Fp.Representation
 type target = {
   repr : (module Repr.S);
   tname : string;
+  fmt : Fp.Ieee.format option;  (* None for posits *)
+  mode : Fp.Rounding_mode.t;
+      (* Rounding mode of the generated table.  RNE for the ordinary
+         targets; Odd for the (n+2)-bit extended targets whose to-odd
+         results re-round correctly under every standard mode. *)
   nan : int;  (* NaN or NaR result pattern *)
-  pos_inf : int;  (* +overflow result: IEEE +inf, posit maxpos *)
-  neg_inf : int;  (* -overflow result *)
-  zero_result : int;  (* +underflow result: IEEE +0, posit minpos *)
+  pos_inf : int;  (* exact +inf result, e.g. f(+inf) or the ln(+inf) pole *)
+  neg_inf : int;  (* exact -inf result *)
+  zero_result : int;  (* exact zero result, e.g. exp(-inf) *)
+  ovf_pos : int;
+      (* finite x past the overflow boundary: IEEE RNE +inf, to-odd
+         maxfinite (odd mantissa, so to-odd never reaches inf), posit
+         maxpos *)
+  ovf_neg : int;
+  und_pos : int;
+      (* finite positive result below the underflow boundary: IEEE RNE
+         +0, to-odd the smallest subnormal (truncate to 0, sticky set ->
+         odd LSB), posit minpos *)
   exp_hi : float;
   exp_lo : float;
   exp2_hi : float;
@@ -57,10 +71,15 @@ let ieee_target (fmt : Fp.Ieee.format) repr tname ~exp_hi ~exp_lo ~exp2_hi ~exp2
   {
     repr;
     tname;
+    fmt = Some fmt;
+    mode = Fp.Rounding_mode.Rne;
     nan = Fp.Ieee.nan_pattern fmt;
     pos_inf = Fp.Ieee.inf_pattern fmt 1;
     neg_inf = Fp.Ieee.inf_pattern fmt (-1);
     zero_result = 0;
+    ovf_pos = Fp.Ieee.inf_pattern fmt 1;
+    ovf_neg = Fp.Ieee.inf_pattern fmt (-1);
+    und_pos = 0;
     exp_hi;
     exp_lo;
     exp2_hi;
@@ -104,10 +123,15 @@ let posit_target n repr tname ~exp_hi ~exp_lo ~exp2_hi ~exp2_lo ~exp10_hi ~exp10
   {
     repr;
     tname;
+    fmt = None;
+    mode = Fp.Rounding_mode.Rne;
     nan = nar;
-    pos_inf = nar - 1 (* maxpos *);
+    pos_inf = nar - 1 (* maxpos: posits have no infinities *);
     neg_inf = nar + 1 (* -maxpos *);
     zero_result = 1 (* minpos: posits never round a positive value to 0 *);
+    ovf_pos = nar - 1 (* saturation is mode-independent for posits *);
+    ovf_neg = nar + 1;
+    und_pos = 1;
     exp_hi;
     exp_lo;
     exp2_hi;
@@ -136,6 +160,119 @@ let posit16 =
     ~exp10_lo:(-8.6) ~sinh_hi:20.5 ~one_snap:(Float.ldexp 1.0 (-16))
 
 (* ------------------------------------------------------------------ *)
+(* Extended round-to-odd targets (the RLIBM-ALL construction): the base
+   format plus two mantissa bits, generated under round-to-odd.  One
+   such table serves every representation of at most the base precision
+   in every standard rounding mode (see Fp.Odd_extended).               *)
+(* ------------------------------------------------------------------ *)
+
+module Float34 = Fp.Odd_extended.Make (struct
+  let fmt = Fp.Ieee.float32
+  let ext_name = "float34"
+end)
+
+module Bfloat18 = Fp.Odd_extended.Make (struct
+  let fmt = Fp.Ieee.bfloat16
+  let ext_name = "bfloat18"
+end)
+
+module Float18 = Fp.Odd_extended.Make (struct
+  let fmt = Fp.Ieee.float16
+  let ext_name = "float18"
+end)
+
+let odd_target (fmt : Fp.Ieee.format) repr tname ~exp_hi ~exp_lo ~exp2_hi ~exp2_lo ~exp10_hi
+    ~exp10_lo ~sinh_hi ~trig_int ~one_snap ~trig_tiny ~tanh_hi ~expm1_lo =
+  {
+    repr;
+    tname;
+    fmt = Some fmt;
+    mode = Fp.Rounding_mode.Odd;
+    nan = Fp.Ieee.nan_pattern fmt;
+    pos_inf = Fp.Ieee.inf_pattern fmt 1;
+    neg_inf = Fp.Ieee.inf_pattern fmt (-1);
+    zero_result = 0;
+    (* To-odd overflow stops at maxfinite (its all-ones mantissa is
+       already odd) and underflow stops at the smallest subnormal (the
+       sticky record of the discarded value sets the LSB). *)
+    ovf_pos = Fp.Ieee.max_finite_pattern fmt 1;
+    ovf_neg = Fp.Ieee.max_finite_pattern fmt (-1);
+    und_pos = 1;
+    exp_hi;
+    exp_lo;
+    exp2_hi;
+    exp2_lo;
+    exp10_hi;
+    exp10_lo;
+    sinh_hi;
+    trig_int;
+    one_snap;
+    trig_tiny;
+    tanh_hi;
+    expm1_lo;
+    log_zero = Fp.Ieee.inf_pattern fmt (-1);
+  }
+
+(* Saturation thresholds: overflow when b^x > maxfinite of the extended
+   format (ln maxfinite34 = 88.722..., log2 = 128, log10 = 38.53...);
+   underflow to pattern 1 when b^x is at or below the smallest subnormal
+   2^(emin - mb - 2).  The one_snap radius is at most 2^-(mb + 2): both
+   to-odd neighbors of 1.0 own two-ulp rounding regions, and |b^x - 1|
+   is below 2.303|x| < 2^-mb inside that radius for every base. *)
+let float34 =
+  odd_target Float34.fmt
+    (module Float34 : Repr.S)
+    "float34" ~exp_hi:88.8 ~exp_lo:(-104.7) ~exp2_hi:128.0 ~exp2_lo:(-151.0) ~exp10_hi:38.6
+    ~exp10_lo:(-45.5) ~sinh_hi:89.5 ~trig_int:(Float.ldexp 1.0 25)
+    ~one_snap:(Float.ldexp 1.0 (-27)) ~trig_tiny:(Float.ldexp 1.0 (-24)) ~tanh_hi:9.2
+    ~expm1_lo:(-17.4)
+
+let bfloat18 =
+  odd_target Bfloat18.fmt
+    (module Bfloat18 : Repr.S)
+    "bfloat18" ~exp_hi:88.8 ~exp_lo:(-93.6) ~exp2_hi:128.0 ~exp2_lo:(-135.0) ~exp10_hi:38.6
+    ~exp10_lo:(-40.7) ~sinh_hi:89.5 ~trig_int:(Float.ldexp 1.0 9)
+    ~one_snap:(Float.ldexp 1.0 (-13)) ~trig_tiny:(Float.ldexp 1.0 (-9)) ~tanh_hi:3.9
+    ~expm1_lo:(-6.4)
+
+let float18 =
+  odd_target Float18.fmt
+    (module Float18 : Repr.S)
+    "float18" ~exp_hi:11.1 ~exp_lo:(-18.1) ~exp2_hi:16.0 ~exp2_lo:(-26.0) ~exp10_hi:4.83
+    ~exp10_lo:(-7.9) ~sinh_hi:11.8 ~trig_int:(Float.ldexp 1.0 12)
+    ~one_snap:(Float.ldexp 1.0 (-16)) ~trig_tiny:(Float.ldexp 1.0 (-11)) ~tanh_hi:4.4
+    ~expm1_lo:(-7.8)
+
+(** [with_mode t mode] re-targets [t] at a different rounding mode,
+    recomputing the mode-dependent saturation results.  The thresholds
+    themselves are mode-valid as they stand: every [*_hi] guarantees
+    f(x) strictly above maxfinite (not merely above the nearest-mode
+    midpoint) and every [*_lo] guarantees f(x) strictly below the
+    smallest subnormal (IEEE) — the saturated *result* is all that
+    changes between modes.  Posit saturation is mode-independent
+    (posits have no infinities and never round a nonzero value to
+    zero), so only the mode field changes. *)
+let with_mode (t : target) mode =
+  match t.fmt with
+  | None -> { t with mode }
+  | Some fmt ->
+      let module M = Fp.Rounding_mode in
+      let ovf sign =
+        let to_inf =
+          match mode with
+          | M.Rne | M.Rna -> true
+          | M.Up -> sign > 0
+          | M.Down -> sign < 0
+          | M.Zero | M.Odd -> false
+        in
+        if to_inf then Fp.Ieee.inf_pattern fmt sign else Fp.Ieee.max_finite_pattern fmt sign
+      in
+      let und =
+        match mode with M.Rne | M.Rna | M.Down | M.Zero -> 0 | M.Up | M.Odd -> 1
+      in
+      { t with mode; ovf_pos = ovf 1; ovf_neg = ovf (-1); und_pos = und }
+
+(* ------------------------------------------------------------------ *)
 (* Special-case builders.                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -150,10 +287,27 @@ let with_classify (t : target) ~on_pos_inf ~on_neg_inf finite pat =
 let exp_family_special (t : target) ~hi ~lo =
   let module T = (val t.repr) in
   let one = T.of_double 1.0 in
+  (* The snap is mode-aware.  Nearest modes: |b^x - 1| is far below half
+     an ulp inside the snap radius, so the result is 1 itself.  Directed
+     modes resolve by the sign of x (b^x is strictly between 1 and a
+     neighbor; it is never exactly 1 for x <> 0, and never a tie).
+     To-odd always lands on the adjacent *odd* pattern — 1 has an even,
+     all-zero mantissa — on the side x selects.  Pattern +-1 arithmetic
+     crosses 1.0's binade boundary correctly because IEEE patterns are
+     ordinal within a sign. *)
+  let snap x =
+    if x = 0.0 then one
+    else
+      match t.mode with
+      | Fp.Rounding_mode.Rne | Fp.Rounding_mode.Rna -> one
+      | Fp.Rounding_mode.Odd -> if x > 0.0 then one + 1 else one - 1
+      | Fp.Rounding_mode.Up -> if x > 0.0 then one + 1 else one
+      | Fp.Rounding_mode.Down | Fp.Rounding_mode.Zero -> if x > 0.0 then one else one - 1
+  in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.zero_result (fun x _pat ->
-      if x >= hi then Some t.pos_inf
-      else if x <= lo then Some t.zero_result
-      else if Float.abs x <= t.one_snap then Some one
+      if x >= hi then Some t.ovf_pos
+      else if x <= lo then Some t.und_pos
+      else if Float.abs x <= t.one_snap then Some (snap x)
       else None)
 
 let log_family_special (t : target) =
@@ -162,8 +316,8 @@ let log_family_special (t : target) =
 
 let sinh_special (t : target) =
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.neg_inf (fun x pat ->
-      if x >= t.sinh_hi then Some t.pos_inf
-      else if x <= -.t.sinh_hi then Some t.neg_inf
+      if x >= t.sinh_hi then Some t.ovf_pos
+      else if x <= -.t.sinh_hi then Some t.ovf_neg
       else if Float.abs x <= Float.ldexp 1.0 (-13) then Some pat (* sinh x ~ x *)
       else None)
 
@@ -171,7 +325,7 @@ let cosh_special (t : target) =
   let module T = (val t.repr) in
   let one = T.of_double 1.0 in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.pos_inf (fun x _pat ->
-      if Float.abs x >= t.sinh_hi then Some t.pos_inf
+      if Float.abs x >= t.sinh_hi then Some t.ovf_pos
       else if Float.abs x <= Float.ldexp 1.0 (-13) then Some one
       else None)
 
@@ -209,7 +363,7 @@ let expm1_special (t : target) =
   let module T = (val t.repr) in
   let minus_one = T.of_double (-1.0) in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:minus_one (fun x pat ->
-      if x >= t.exp_hi then Some t.pos_inf
+      if x >= t.exp_hi then Some t.ovf_pos
       else if x <= t.expm1_lo then Some minus_one
       else if Float.abs x <= Float.ldexp 1.0 (-26) then Some pat (* expm1 x ~ x *)
       else None)
@@ -282,6 +436,7 @@ let ln (t : target) =
   {
     S.name = "ln";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.ln;
     special = log_family_special t;
     reduce = R.log_reduce;
@@ -294,6 +449,7 @@ let log2 (t : target) =
   {
     S.name = "log2";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.log2;
     special = log_family_special t;
     reduce = R.log_reduce;
@@ -306,6 +462,7 @@ let log10 (t : target) =
   {
     S.name = "log10";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.log10;
     special = log_family_special t;
     reduce = R.log_reduce;
@@ -318,6 +475,7 @@ let exp (t : target) =
   {
     S.name = "exp";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.exp;
     special = exp_family_special t ~hi:t.exp_hi ~lo:t.exp_lo;
     reduce =
@@ -333,6 +491,7 @@ let exp2 (t : target) =
   {
     S.name = "exp2";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.exp2;
     special = exp_family_special t ~hi:t.exp2_hi ~lo:t.exp2_lo;
     reduce = R.exp2_reduce;
@@ -345,6 +504,7 @@ let exp10 (t : target) =
   {
     S.name = "exp10";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.exp10;
     special = exp_family_special t ~hi:t.exp10_hi ~lo:t.exp10_lo;
     reduce =
@@ -360,6 +520,7 @@ let sinh (t : target) =
   {
     S.name = "sinh";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.sinh;
     special = sinh_special t;
     reduce = R.sinhcosh_reduce;
@@ -372,6 +533,7 @@ let cosh (t : target) =
   {
     S.name = "cosh";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.cosh;
     special = cosh_special t;
     reduce = R.sinhcosh_reduce;
@@ -384,6 +546,7 @@ let sinpi (t : target) =
   {
     S.name = "sinpi";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.sinpi;
     special = sinpi_special t;
     reduce = R.sinpi_reduce;
@@ -396,6 +559,7 @@ let cospi (t : target) =
   {
     S.name = "cospi";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.cospi;
     special = cospi_special t;
     reduce = R.cospi_reduce;
@@ -408,6 +572,7 @@ let tanh (t : target) =
   {
     S.name = "tanh";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.tanh;
     special = tanh_special t;
     reduce = R.tanh_reduce;
@@ -420,6 +585,7 @@ let expm1 (t : target) =
   {
     S.name = "expm1";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.expm1;
     special = expm1_special t;
     reduce =
@@ -434,6 +600,7 @@ let log1p (t : target) =
   {
     S.name = "log1p";
     repr = t.repr;
+    mode = t.mode;
     oracle = E.log1p;
     special = log1p_special t;
     reduce = R.log1p_reduce;
@@ -450,7 +617,22 @@ let posit_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "
 (** Extensions beyond the paper's ten (its §7 future work). *)
 let extension_functions = [ "tanh"; "expm1"; "log1p" ]
 
+(** Functions available under non-nearest rounding modes (the extended
+    round-to-odd targets and [with_mode] re-targets): the log and exp
+    families, whose special-case analyses are mode-aware.  The x ~ 0
+    linear-term snaps of sinh/tanh/expm1/log1p assume nearest rounding —
+    under a directed mode or to-odd the result is an *adjacent* pattern,
+    on a side set by the next Taylor term's sign — and sinpi's pi*x
+    double-rounding shortcut can land on the wrong side of a directed
+    boundary; those functions are rejected rather than silently
+    misrounded. *)
+let odd_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10" ]
+
 let by_name name t =
+  if t.mode <> Fp.Rounding_mode.Rne && not (List.mem name odd_functions) then
+    invalid_arg
+      ("Specs.by_name: " ^ name ^ " has no special-case analysis for mode "
+      ^ Fp.Rounding_mode.to_string t.mode);
   let spec =
     match name with
     | "ln" -> ln t

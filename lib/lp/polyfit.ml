@@ -3,9 +3,31 @@
 module Q = Rational
 module F = Oracle.Bigfloat
 
-type constr = { r : float; lo : float; hi : float }
+type constr = { r : float; lo : float; hi : float; lo_open : bool; hi_open : bool }
 
 let max_active = ref 40
+
+(* Strict sides for the weak-inequality simplex: shift the bound inward
+   by an exact rational epsilon, 2^-53 of the interval width.  Exact (no
+   float rounding anywhere), positive whenever the interval has any
+   width, and far too small to cost the LP a usable solution; a
+   zero-width interval with an open side is empty and is rejected by the
+   same guard as lo > hi. *)
+let strict_eps lo hi = Q.mul_pow2 (Q.sub (Q.of_float hi) (Q.of_float lo)) (-53)
+
+(* RHS of the "row <= hi" inequality. *)
+let rhs_hi ~lo ~hi ~hi_open =
+  let q = Q.of_float hi in
+  if hi_open then Q.sub q (strict_eps lo hi) else q
+
+(* RHS of the "-row <= -lo" inequality. *)
+let rhs_lo ~lo ~hi ~lo_open =
+  let q = Q.of_float lo in
+  Q.neg (if lo_open then Q.add q (strict_eps lo hi) else q)
+
+(* An interval is empty when inverted, or degenerate with a strict
+   side. *)
+let empty_constr c = c.lo > c.hi || (c.lo = c.hi && (c.lo_open || c.hi_open))
 
 (* q^e for small e, exactly. *)
 let qpow q e = Q.make (Bigint.pow (Q.num q) e) (Bigint.pow (Q.den q) e)
@@ -32,7 +54,7 @@ let fit_cold ~terms cons =
   if m = 0 then Some (Array.make nt Q.zero)
   else begin
     (* Empty interval anywhere: no polynomial can exist. *)
-    if Array.exists (fun c -> c.lo > c.hi) cons then None
+    if Array.exists empty_constr cons then None
     else begin
       (* Variable scaling: bring the largest |r| near 1. *)
       let rmax = Array.fold_left (fun acc c -> Float.max acc (Float.abs c.r)) 0.0 cons in
@@ -44,7 +66,13 @@ let fit_cold ~terms cons =
         Array.map (fun e -> round64 (qpow qr e)) terms
       in
       let rows = Array.init m row_of in
-      let lo i = Q.of_float cons.(i).lo and hi i = Q.of_float cons.(i).hi in
+      let lo i =
+        let c = cons.(i) in
+        rhs_lo ~lo:c.lo ~hi:c.hi ~lo_open:c.lo_open
+      and hi i =
+        let c = cons.(i) in
+        rhs_hi ~lo:c.lo ~hi:c.hi ~hi_open:c.hi_open
+      in
       (* Double-precision view of the rows for the full-set violation
          scan.  Exactness is not needed there: the caller re-validates
          every candidate in double against the true intervals
@@ -81,7 +109,7 @@ let fit_cold ~terms cons =
                 a.(k + p).(j) <- Q.neg v)
               rows.(i);
             b.(p) <- hi i;
-            b.(k + p) <- Q.neg (lo i))
+            b.(k + p) <- lo i)
           idx;
         Simplex.feasible ~a ~b
       in
@@ -169,7 +197,7 @@ let fit_warm s ~terms cons =
   let m = Array.length cons in
   let nt = Array.length terms in
   if m = 0 then Some (Array.make nt Q.zero)
-  else if Array.exists (fun c -> c.lo > c.hi) cons then None
+  else if Array.exists empty_constr cons then None
   else begin
     let rmax = Array.fold_left (fun acc c -> Float.max acc (Float.abs c.r)) 0.0 cons in
     let sigma_now = if rmax = 0.0 then 0 else -snd (Float.frexp rmax) in
@@ -194,15 +222,27 @@ let fit_warm s ~terms cons =
           inn
     in
     let key_of r = Int64.bits_of_float r in
-    (* Current bounds per reduced input; duplicates intersect, which is
-       what duplicate LP rows would enforce anyway. *)
+    (* Current bounds per reduced input (with strictness flags);
+       duplicates intersect, which is what duplicate LP rows would
+       enforce anyway — on a tied bound an open side wins. *)
     let bounds = Hashtbl.create (2 * m) in
     Array.iter
       (fun c ->
         let k = key_of c.r in
         match Hashtbl.find_opt bounds k with
-        | None -> Hashtbl.replace bounds k (c.lo, c.hi)
-        | Some (l, h) -> Hashtbl.replace bounds k (Float.max l c.lo, Float.min h c.hi))
+        | None -> Hashtbl.replace bounds k (c.lo, c.lo_open, c.hi, c.hi_open)
+        | Some (l, lop, h, hop) ->
+            let l, lop =
+              if c.lo > l then (c.lo, c.lo_open)
+              else if c.lo < l then (l, lop)
+              else (l, lop || c.lo_open)
+            in
+            let h, hop =
+              if c.hi < h then (c.hi, c.hi_open)
+              else if c.hi > h then (h, hop)
+              else (h, hop || c.hi_open)
+            in
+            Hashtbl.replace bounds k (l, lop, h, hop))
       cons;
     let exact_row k =
       match Hashtbl.find_opt inn.i_rows k with
@@ -248,19 +288,20 @@ let fit_warm s ~terms cons =
         inn.i_keys <- keys'
       end
     end;
-    (* Sync 2: retarget every surviving row to this call's bounds. *)
+    (* Sync 2: retarget every surviving row to this call's bounds (the
+       strict-side epsilon shift applies identically to warm rows). *)
     Hashtbl.iter
       (fun k (ih, il) ->
-        let lo, hi = Hashtbl.find bounds k in
-        Simplex.set_rhs inn.i_state ih (Q.of_float hi);
-        Simplex.set_rhs inn.i_state il (Q.neg (Q.of_float lo)))
+        let lo, lo_open, hi, hi_open = Hashtbl.find bounds k in
+        Simplex.set_rhs inn.i_state ih (rhs_hi ~lo ~hi ~hi_open);
+        Simplex.set_rhs inn.i_state il (rhs_lo ~lo ~hi ~lo_open))
       inn.i_keys;
     let add_key k =
       if not (Hashtbl.mem inn.i_keys k) then begin
         let row = exact_row k in
-        let lo, hi = Hashtbl.find bounds k in
-        let ih = Simplex.add_row inn.i_state row (Q.of_float hi) in
-        let il = Simplex.add_row inn.i_state (Array.map Q.neg row) (Q.neg (Q.of_float lo)) in
+        let lo, lo_open, hi, hi_open = Hashtbl.find bounds k in
+        let ih = Simplex.add_row inn.i_state row (rhs_hi ~lo ~hi ~hi_open) in
+        let il = Simplex.add_row inn.i_state (Array.map Q.neg row) (rhs_lo ~lo ~hi ~lo_open) in
         Hashtbl.replace inn.i_keys k (ih, il)
       end
     in

@@ -16,9 +16,18 @@
       LP conditioning collapses when the domain mixes very large and
       very small magnitudes;
     - {b entry rounding}: scaled powers are rounded to 64 significant
-      bits, keeping simplex pivots on small rationals. *)
+      bits, keeping simplex pivots on small rationals.
 
-type constr = { r : float; lo : float; hi : float }
+    A constraint side marked open ([lo_open]/[hi_open], from a
+    directed-mode or round-to-odd rounding interval) is a strict
+    inequality.  The simplex kernel only speaks weak rows, so an open
+    side is assembled as the weak row shifted inward by an exact
+    rational epsilon of 2^-53 of the interval's width — small enough to
+    keep essentially the whole feasible region, exact so the kernel's
+    soundness is untouched, and strictly positive so any solution
+    satisfies the true strict inequality. *)
+
+type constr = { r : float; lo : float; hi : float; lo_open : bool; hi_open : bool }
 
 (** A warm-start handle for a *family* of related fit calls — one
     sub-domain (or sub-domain lineage) of Algorithm 4.  The session

@@ -77,9 +77,11 @@ let to_rational p pat =
 (* Assemble and round: given sign, scale s and an fb-bit fraction head
    [frac] (plus a sticky flag for dropped fraction bits), produce the
    final pattern.  The body bit string is regime|exponent|fraction; we
-   keep its top n-1 bits and round with guard/sticky, ties to even
-   pattern. *)
-let assemble p ~sign ~s ~fb ~frac ~sticky =
+   keep its top n-1 bits and round with guard/sticky under [mode]
+   (default: nearest, ties to even pattern).  Saturation is
+   mode-independent — posits have no infinities, so every mode clamps
+   at maxpos and never rounds a nonzero value to zero. *)
+let assemble p ?(mode = Fp.Rounding_mode.Rne) ~sign ~s ~fb ~frac ~sticky () =
   if s > smax p then (if sign < 0 then (1 lsl p.n) - maxpos p else maxpos p)
   else if s < -smax p then (if sign < 0 then (1 lsl p.n) - minpos_pat else minpos_pat)
   else begin
@@ -101,20 +103,25 @@ let assemble p ~sign ~s ~fb ~frac ~sticky =
     let t = p.n - 1 in
     (* fb is always chosen large enough that len > t. *)
     let head = body lsr (len - t) in
-    let round = (body lsr (len - t - 1)) land 1 = 1 in
+    let guard = (body lsr (len - t - 1)) land 1 = 1 in
     let sticky = sticky || body land ((1 lsl (len - t - 1)) - 1) <> 0 in
-    let head = if round && (sticky || head land 1 = 1) then head + 1 else head in
+    let half_cmp = if not guard then -1 else if sticky then 1 else 0 in
+    let up =
+      Fp.Rounding_mode.round_up ~mode ~neg:(sign < 0) ~odd:(head land 1 = 1)
+        ~inexact:(guard || sticky) ~half_cmp
+    in
+    let head = if up then head + 1 else head in
     let head = if head = 0 then minpos_pat else if head > maxpos p then maxpos p else head in
     if sign < 0 then ((1 lsl p.n) - head) land mask p else head
   end
 
-let round_rational p q =
+let round_rational p ?mode q =
   if Q.is_zero q then 0
   else begin
     let sign = Q.sign q in
     let a = Q.abs q in
     let s = Q.ilog2 a in
-    if s > smax p || s < -smax p then assemble p ~sign ~s ~fb:0 ~frac:0 ~sticky:false
+    if s > smax p || s < -smax p then assemble p ?mode ~sign ~s ~fb:0 ~frac:0 ~sticky:false ()
     else begin
       (* fraction = a*2^-s - 1 in [0,1); extract n+8 bits exactly. *)
       let fb = p.n + 8 in
@@ -123,11 +130,11 @@ let round_rational p q =
       let den' = if s >= 0 then B.shift_left den s else den in
       let fnum = B.sub num' den' in
       let quot, rem = B.divmod (B.shift_left fnum fb) den' in
-      assemble p ~sign ~s ~fb ~frac:(B.to_int_exn quot) ~sticky:(not (B.is_zero rem))
+      assemble p ?mode ~sign ~s ~fb ~frac:(B.to_int_exn quot) ~sticky:(not (B.is_zero rem)) ()
     end
   end
 
-let of_double p x =
+let of_double p ?mode x =
   if x = 0.0 then 0
   else if not (Float.is_finite x) then nar p
   else begin
@@ -135,7 +142,7 @@ let of_double p x =
     let m, ex = Float.frexp (Float.abs x) in
     let mant = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
     let s = ex - 1 in
-    if s > smax p || s < -smax p then assemble p ~sign ~s ~fb:0 ~frac:0 ~sticky:false
+    if s > smax p || s < -smax p then assemble p ?mode ~sign ~s ~fb:0 ~frac:0 ~sticky:false ()
     else begin
       (* Take as many of the 52 explicit mantissa bits as fit in a native
          int alongside regime and exponent. *)
@@ -146,13 +153,30 @@ let of_double p x =
       let low = mant land ((1 lsl 52) - 1) in
       let frac = low lsr (52 - fb) in
       let sticky = low land ((1 lsl (52 - fb)) - 1) <> 0 in
-      assemble p ~sign ~s ~fb ~frac ~sticky
+      assemble p ?mode ~sign ~s ~fb ~frac ~sticky ()
     end
   end
 
 let order_key p pat =
   let pat = pat land mask p in
   if pat < nar p then pat else pat - (1 lsl p.n)
+
+(* Pattern-level neighbor walk on the posit circle: two's-complement
+   patterns increase with the value they encode (NaR excluded), so the
+   step is pattern +-1 with saturation next to NaR (maxpos upward, the
+   most negative finite downward) and the natural wrap at -minpos -> 0.
+   @raise Invalid_argument on NaR. *)
+let next_up p pat =
+  let pat = pat land mask p in
+  if pat = nar p then invalid_arg (p.name ^ ".next_up: NaR")
+  else if pat = maxpos p then pat
+  else (pat + 1) land mask p
+
+let next_down p pat =
+  let pat = pat land mask p in
+  if pat = nar p then invalid_arg (p.name ^ ".next_down: NaR")
+  else if pat = nar p + 1 then pat
+  else (pat - 1) land mask p
 
 (** Instantiate a posit format as a {!Fp.Representation.S}. *)
 module Make (P : sig
@@ -164,7 +188,9 @@ end) : Fp.Representation.S = struct
   let classify pat = classify p pat
   let to_double pat = to_double p pat
   let to_rational pat = to_rational p pat
-  let round_rational q = round_rational p q
-  let of_double x = of_double p x
+  let round_rational ?mode q = round_rational p ?mode q
+  let of_double ?mode x = of_double p ?mode x
   let order_key pat = order_key p pat
+  let next_up pat = next_up p pat
+  let next_down pat = next_down p pat
 end

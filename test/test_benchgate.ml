@@ -43,6 +43,7 @@ let test_direction () =
     (Benchgate.direction_of "lp.warm_grow_speedup" = Benchgate.Higher_better);
   Alcotest.(check bool) "gen is gated" true (Benchgate.gated "gen.float32_log2_s");
   Alcotest.(check bool) "lp is gated" true (Benchgate.gated "lp.dense_solve_ns");
+  Alcotest.(check bool) "round is gated" true (Benchgate.gated "round.interval_bf16_odd_ns");
   Alcotest.(check bool) "bigint is not gated" false (Benchgate.gated "bigint.mul.speedup")
 
 (* The acceptance scenario: a synthetic >25% wall-clock regression in a

@@ -123,7 +123,7 @@ let test_polyeval_exact_structure () =
 
 let mk_cons f tol pts =
   Array.of_list
-    (List.map (fun r -> { Rlibm.Reduced.r; lo = f r -. tol; hi = f r +. tol; mid = f r }) pts)
+    (List.map (fun r -> { Rlibm.Reduced.r; lo = f r -. tol; hi = f r +. tol; lo_open = false; hi_open = false; mid = f r }) pts)
 
 let test_polygen_simple () =
   let f r = 1.0 +. r +. (r *. r /. 2.0) in
@@ -142,8 +142,8 @@ let test_polygen_infeasible () =
      when two constraints at the same r contradict. *)
   let cons =
     [|
-      { Rlibm.Reduced.r = 0.001; lo = 0.5; hi = 0.6; mid = 0.55 };
-      { Rlibm.Reduced.r = 0.001; lo = 0.7; hi = 0.8; mid = 0.75 };
+      { Rlibm.Reduced.r = 0.001; lo = 0.5; hi = 0.6; lo_open = false; hi_open = false; mid = 0.55 };
+      { Rlibm.Reduced.r = 0.001; lo = 0.7; hi = 0.8; lo_open = false; hi_open = false; mid = 0.75 };
     |]
   in
   Alcotest.(check bool)
@@ -161,7 +161,7 @@ let test_polygen_counterexample_loop () =
       (List.mapi
          (fun i r ->
            let tol = if i = 1234 then 1e-13 else 1e-5 in
-           { Rlibm.Reduced.r; lo = f r -. tol; hi = f r +. tol; mid = f r })
+           { Rlibm.Reduced.r; lo = f r -. tol; hi = f r +. tol; lo_open = false; hi_open = false; mid = f r })
          pts)
   in
   match Rlibm.Polygen.gen ~cfg:Rlibm.Config.default ~terms:[| 1; 3 |] cons with
@@ -173,7 +173,7 @@ let test_polygen_counterexample_loop () =
 
 let test_tube_shrink () =
   (* Every rung keeps [mid] inside and never leaves the original box. *)
-  let c = { Rlibm.Reduced.r = 0.01; lo = 1.0; hi = 1.0 +. 1e-6; mid = 1.0 +. 3e-7 } in
+  let c = { Rlibm.Reduced.r = 0.01; lo = 1.0; hi = 1.0 +. 1e-6; lo_open = false; hi_open = false; mid = 1.0 +. 3e-7 } in
   List.iter
     (fun f ->
       let s = Rlibm.Polygen.shrink_by f c in
@@ -184,7 +184,7 @@ let test_tube_shrink () =
       Alcotest.(check bool) "tube bounded" true (s.hi -. s.lo <= (2.2 *. budget)))
     [ 65536.0; 1024.0; 16.0 ];
   (* A box narrower than the tube is returned intersected, nonempty. *)
-  let narrow = { Rlibm.Reduced.r = 0.01; lo = 2.0; hi = Fp.Fp64.advance 2.0 1; mid = 2.0 } in
+  let narrow = { Rlibm.Reduced.r = 0.01; lo = 2.0; hi = Fp.Fp64.advance 2.0 1; lo_open = false; hi_open = false; mid = 2.0 } in
   let s2 = Rlibm.Polygen.shrink narrow in
   Alcotest.(check bool) "narrow box survives" true (s2.lo <= s2.hi)
 

@@ -1,6 +1,9 @@
 (* 16-bit differential tier: the generated log2 and exp checked against
    the arbitrary-precision oracle on bfloat16 and float16 inputs,
-   through the sharded validation engine.
+   through the sharded validation engine; plus the RLIBM-ALL derived
+   tier, where the SAME two functions are evaluated for both targets in
+   all five standard rounding modes through the single float34
+   round-to-odd table and checked against the mode-aware oracle.
 
    Default (`dune runtest`): a strided subset — every 16th pattern — so
    the tier stays fast.  With RLIBM_EXHAUSTIVE=1 (the @exhaustive
@@ -50,6 +53,59 @@ let tier (target : Funcs.Specs.target) =
       (fun name -> Alcotest.test_case (name ^ " vs oracle") `Slow (differential target name))
       [ "log2"; "exp" ] )
 
+(* Derived tier: base-format results re-rounded from the float34
+   round-to-odd table, compared against the mode-aware oracle (special
+   cases from the mode-retargeted spec, everything else from exact
+   rational rounding under the mode). *)
+let derived_differential (base : Funcs.Specs.target) name mode () =
+  let t = Funcs.Specs.with_mode base mode in
+  let module T = (val t.repr) in
+  let spec = Funcs.Specs.by_name name t in
+  let f = Funcs.Derived.fn t.repr ~mode name in
+  let pats = patterns () in
+  let bad =
+    Parallel.fold_chunks ~n:(Array.length pats) ~combine:( + ) ~init:0
+      (fun ~lo ~hi ->
+        let bad = ref 0 in
+        for k = lo to hi - 1 do
+          let pat = pats.(k) in
+          let want =
+            match spec.Rlibm.Spec.special pat with
+            | Some y -> y
+            | None ->
+                Oracle.Elementary.correctly_rounded
+                  ~round:(T.round_rational ~mode)
+                  spec.Rlibm.Spec.oracle (T.to_rational pat)
+          in
+          if not (pattern_value_equal (module T) (f pat) want) then incr bad
+        done;
+        !bad)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "%s %s@%s derived: misrounded inputs (of %d)" base.tname name
+       (Fp.Rounding_mode.to_string mode)
+       (Array.length pats))
+    0 bad
+
+let derived_tier (base : Funcs.Specs.target) =
+  ( base.tname ^ "-derived",
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun mode ->
+            Alcotest.test_case
+              (Printf.sprintf "%s @%s via float34" name (Fp.Rounding_mode.to_string mode))
+              `Slow
+              (derived_differential base name mode))
+          Fp.Rounding_mode.standard)
+      [ "log2"; "exp" ] )
+
 let () =
   if exhaustive then print_endline "RLIBM_EXHAUSTIVE=1: checking all 65536 inputs per target";
-  Alcotest.run "exhaustive16" [ tier Funcs.Specs.bfloat16; tier Funcs.Specs.float16 ]
+  Alcotest.run "exhaustive16"
+    [
+      tier Funcs.Specs.bfloat16;
+      tier Funcs.Specs.float16;
+      derived_tier Funcs.Specs.bfloat16;
+      derived_tier Funcs.Specs.float16;
+    ]

@@ -259,11 +259,11 @@ let prop_warm_drop_rows_random =
 (* Polyfit.                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let cons_of_fn f ?(tol = 1e-9) pts = Array.of_list (List.map (fun r -> { P.r; lo = f r -. tol; hi = f r +. tol }) pts)
+let cons_of_fn f ?(tol = 1e-9) pts = Array.of_list (List.map (fun r -> { P.r; lo = f r -. tol; hi = f r +. tol; lo_open = false; hi_open = false }) pts)
 
 let validate terms coeffs cons =
   Array.iter
-    (fun { P.r; lo; hi } ->
+    (fun { P.r; lo; hi; _ } ->
       let v = Q.to_float (P.eval_exact ~terms coeffs r) in
       if not (v >= lo -. 1e-12 && v <= hi +. 1e-12) then Alcotest.failf "violated at %h" r)
     cons
@@ -286,7 +286,7 @@ let test_fit_odd_structure () =
 
 let test_fit_infeasible () =
   let cons =
-    [| { P.r = 0.5; lo = 1.0; hi = 2.0 }; { P.r = 0.5; lo = 3.0; hi = 4.0 } |]
+    [| { P.r = 0.5; lo = 1.0; hi = 2.0; lo_open = false; hi_open = false }; { P.r = 0.5; lo = 3.0; hi = 4.0; lo_open = false; hi_open = false } |]
   in
   Alcotest.(check bool) "contradiction" true (P.fit ~terms:[| 0; 1 |] cons = None);
   (* Quadratic data cannot be matched by a line at 1e-9 tolerance. *)
@@ -324,7 +324,7 @@ let prop_fit_random_poly =
       match P.fit ~terms cons with
       | Some c ->
           Array.for_all
-            (fun { P.r; lo; hi } ->
+            (fun { P.r; lo; hi; _ } ->
               let v = Q.to_float (P.eval_exact ~terms c r) in
               v >= lo -. 1e-9 && v <= hi +. 1e-9)
             cons
@@ -357,7 +357,7 @@ let test_fit_scale_covariant () =
       (List.map
          (fun r0 ->
            let r = Float.ldexp r0 k in
-           { P.r; lo = f r0 -. 1e-9; hi = f r0 +. 1e-9 })
+           { P.r; lo = f r0 -. 1e-9; hi = f r0 +. 1e-9; lo_open = false; hi_open = false })
          pts)
   in
   match (P.fit ~terms:[| 0; 1 |] (cons 0), P.fit ~terms:[| 0; 1 |] (cons (-20))) with
