@@ -414,9 +414,17 @@ let par () =
 (* naive reference retained in test/util, and the Rational fast paths.  *)
 (* ------------------------------------------------------------------ *)
 
-(* Collected metrics for the --json report. *)
+(* Collected metrics for the --json report.  Non-finite values are
+   dropped with a warning instead of written: a nan/inf in the JSON
+   would kill the whole gate run at parse time, hiding every other
+   metric behind one flaky measurement. *)
 let metrics : (string * float) list ref = ref []
-let record k v = metrics := (k, v) :: !metrics
+
+let record k v =
+  if Float.is_finite v then metrics := (k, v) :: !metrics
+  else
+    Printf.eprintf "warning: metric %S is %s — skipped from the JSON report\n%!" k
+      (Printf.sprintf "%h" v)
 
 (* Both the live [Bigint] and the frozen [Test_util.Ref] reference
    satisfy this slice of the interface, so every workload below is
@@ -782,6 +790,89 @@ let round_section () =
   Printf.printf "direct %12.0f ns   derived %12.0f ns   (%.2fx the direct cost)\n%!" t_direct
     t_derived (t_derived /. t_direct)
 
+(* Sweep engine: cold full-oracle sweep vs a cache-warm re-run over the
+   same (func, mode, pattern) set — the acceptance number for the
+   persistent oracle cache.  Seconds-scale jobs, so single-run wall
+   clocks (best-of-3 on the warm side, which is cheap): a cold sweep is
+   only cold once, Bechamel's OLS has nothing to regress on. *)
+let sweep_section () =
+  pr_header "SWEEP: resumable bfloat16 log2 sweep, cold oracle vs warm cache (all 2^16 patterns)";
+  let t = Funcs.Specs.bfloat16 in
+  let module T = Fp.Bfloat16 in
+  match Funcs.Libm.get ~quality t "log2" with
+  | exception Failure msg -> Printf.printf "skipped (%s)\n" msg
+  | g ->
+      let spec = g.Rlibm.Generator.spec in
+      let compiled = Rlibm.Generator.compile g in
+      (* The full 16-bit pattern space: big enough that the cold wall
+         clock is seconds-scale (stable under a 25% gate), small enough
+         to finish promptly.  [stride] stays in the identity so a later
+         strided variant cannot silently resume this checkpoint. *)
+      let stride = 1 in
+      let n = (((1 lsl T.bits) - 1) / stride) + 1 in
+      let root =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rlibm_bench_sweep.%d" (Unix.getpid ()))
+      in
+      let rec rm_rf p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists root then rm_rf root;
+      let identity = Printf.sprintf "bench-sweep v1 target=%s func=log2 stride=%d" T.name stride in
+      let cache_dir = Filename.concat root "cache" in
+      let run_once tag =
+        let cache =
+          Sweep.Oracle_cache.open_ ~dir:cache_dir ~repr:T.name ~func:"log2"
+            ~mode:(Fp.Rounding_mode.to_string Fp.Rounding_mode.Rne)
+        in
+        let f ~lo ~hi =
+          let ms = ref [] in
+          for i = hi - 1 downto lo do
+            let pat = i * stride in
+            let want =
+              match spec.special pat with
+              | Some y -> y
+              | None ->
+                  Sweep.Oracle_cache.memo (Some cache) pat (fun pat ->
+                      Oracle.Elementary.correctly_rounded ~round:T.round_rational spec.oracle
+                        (T.to_rational pat))
+            in
+            let got = compiled pat in
+            if not (Rlibm.Generator.patterns_value_equal spec.repr got want) then
+              ms := { Sweep.Checkpoint.pattern = pat; got; want } :: !ms
+          done;
+          !ms
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Sweep.Engine.run ~dir:(Filename.concat root tag) ~identity ~n ~chunk_size:512 ~cache f in
+        let wall = Unix.gettimeofday () -. t0 in
+        Sweep.Oracle_cache.close cache;
+        (match r with
+        | Error msg -> Printf.printf "sweep (%-5s) FAILED: %s\n%!" tag msg
+        | Ok o ->
+            Printf.printf "sweep (%-5s) %8.2f s  (%d points, %d mismatches, cache %d hit / %d miss)\n%!"
+              tag wall n
+              (Array.length o.Sweep.Engine.mismatches)
+              o.Sweep.Engine.stats.cache_hits o.Sweep.Engine.stats.cache_misses);
+        wall
+      in
+      let cold = run_once "cold" in
+      let warm =
+        List.fold_left
+          (fun best i -> Float.min best (run_once (Printf.sprintf "warm%d" i)))
+          infinity [ 1; 2; 3 ]
+      in
+      record "sweep.bf16_log2_cold_s" cold;
+      record "sweep.bf16_log2_warm_s" warm;
+      record "sweep.cache_warm_speedup" (cold /. warm);
+      Printf.printf "cold %8.2f s   warm (best of 3) %8.2f s   (%.2fx from the oracle cache)\n%!"
+        cold warm (cold /. warm);
+      rm_rf root
+
 let write_json () =
   let rev =
     try
@@ -829,4 +920,5 @@ let () =
   if want "lp" then lp ();
   if want "gen" then gen ();
   if want "round" then round_section ();
+  if want "sweep" then sweep_section ();
   if json then write_json ()

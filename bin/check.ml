@@ -222,6 +222,126 @@ let modes_term =
        & info [ "mode" ]
            ~doc:"Standard rounding mode to derive (repeatable; default: all five).")
 
+(* ------------------------------------------------------------------ *)
+(* Full-range sweep: every pattern of the target (optionally strided)   *)
+(* checked against the oracle through the resumable, checkpointed,      *)
+(* fault-tolerant Sweep engine.  This is the scale at which the paper's *)
+(* all-inputs claim is actually verified, so the job must survive a     *)
+(* kill: chunk completion lands in dir/checkpoint.bin (atomic rename)   *)
+(* after every batch, --resume picks up exactly the pending chunks, and *)
+(* the final report is bit-identical either way.                        *)
+(* ------------------------------------------------------------------ *)
+
+let target_by_name = function
+  | "float32" -> Funcs.Specs.float32
+  | "posit32" -> Funcs.Specs.posit32
+  | "bfloat16" -> Funcs.Specs.bfloat16
+  | "float16" -> Funcs.Specs.float16
+  | "posit16" -> Funcs.Specs.posit16
+  | s -> invalid_arg ("unknown target " ^ s ^ " (want float32/posit32/bfloat16/float16/posit16)")
+
+let quality_name = function
+  | Funcs.Libm.Draft -> "draft"
+  | Funcs.Libm.Quick -> "quick"
+  | Funcs.Libm.Full -> "full"
+
+(* Deterministic report: identity line, mismatches in pattern order,
+   quarantined chunks in chunk order, totals.  No timings, no counters —
+   an interrupted-and-resumed sweep must reproduce it byte for byte. *)
+let write_report path ~identity (o : Sweep.Engine.outcome) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%s\n" identity;
+  Array.iter
+    (fun (m : Sweep.Checkpoint.mismatch) ->
+      Printf.fprintf oc "mismatch 0x%x got 0x%x want 0x%x\n" m.pattern m.got m.want)
+    o.mismatches;
+  List.iter
+    (fun (ci, lo, hi, msg) -> Printf.fprintf oc "quarantined chunk %d [%d,%d): %s\n" ci lo hi msg)
+    o.quarantined;
+  Printf.fprintf oc "total %d mismatches, %d quarantined chunks over %d points\n"
+    (Array.length o.mismatches) (List.length o.quarantined) o.checkpoint.Sweep.Checkpoint.n_items;
+  close_out oc;
+  Sys.rename tmp path
+
+let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir =
+  set_jobs jobs;
+  let t = apply_mode mode (target_by_name tname) in
+  let module T = (val t.repr) in
+  let g = Funcs.Libm.get ~quality t fname in
+  let compiled = G.compile g in
+  let spec = g.G.spec in
+  let stride = Stdlib.max 1 stride in
+  let n = (((1 lsl T.bits) - 1) / stride) + 1 in
+  let mode_s = Fp.Rounding_mode.to_string spec.mode in
+  let identity =
+    Printf.sprintf "rlibm-sweep v1 target=%s func=%s mode=%s bits=%d stride=%d quality=%s"
+      t.tname fname mode_s T.bits stride (quality_name quality)
+  in
+  (* The oracle cache outlives the sweep directory on purpose: repeated
+     sweeps, hard-case hunts and cached generations all share it. *)
+  let cache_dir =
+    match cache_dir with
+    | Some d -> d
+    | None -> (
+        match Sys.getenv_opt "RLIBM_ORACLE_CACHE" with
+        | Some d when String.trim d <> "" -> String.trim d
+        | _ -> Filename.concat dir "cache")
+  in
+  let cache = Sweep.Oracle_cache.open_ ~dir:cache_dir ~repr:T.name ~func:fname ~mode:mode_s in
+  let truth pat =
+    match spec.special pat with
+    | Some y -> y
+    | None ->
+        Sweep.Oracle_cache.memo (Some cache) pat (fun pat ->
+            Oracle.Elementary.correctly_rounded
+              ~round:(T.round_rational ~mode:spec.mode)
+              spec.oracle (T.to_rational pat))
+  in
+  let f ~lo ~hi =
+    let acc = ref [] in
+    for i = hi - 1 downto lo do
+      let pat = i * stride in
+      let want = truth pat in
+      let got = compiled pat in
+      if not (value_equal (module T) got want) then
+        acc := { Sweep.Checkpoint.pattern = pat; got; want } :: !acc
+    done;
+    !acc
+  in
+  Printf.printf "sweep: %s — %d points in chunks of %d (dir %s%s)\n%!" identity n chunk dir
+    (if resume then ", resuming" else "");
+  let last_print = ref 0.0 in
+  let progress (p : Sweep.Engine.progress) =
+    let now = Unix.gettimeofday () in
+    if now -. !last_print >= 1.0 || p.completed_chunks + p.quarantined_chunks = p.total_chunks
+    then begin
+      last_print := now;
+      Rlibm.Stats.pp_sweep Format.std_formatter p
+    end
+  in
+  match
+    Sweep.Engine.run ~dir ~identity ~n ~chunk_size:chunk ~max_retries:retries
+      ~checkpoint_every:ckpt_every ~resume ~cache ~progress f
+  with
+  | Error msg ->
+      prerr_endline msg;
+      exit 3
+  | Ok o ->
+      Sweep.Oracle_cache.close cache;
+      let report = Filename.concat dir "report.txt" in
+      write_report report ~identity o;
+      let nmis = Array.length o.mismatches and nq = List.length o.quarantined in
+      Printf.printf
+        "sweep done: %d points, %d mismatches, %d quarantined chunks, %d retries, cache %d hit / \
+         %d miss\nreport: %s\n%!"
+        n nmis nq o.stats.retry_attempts o.stats.cache_hits o.stats.cache_misses report;
+      List.iter
+        (fun (ci, lo, hi, msg) ->
+          Printf.printf "  QUARANTINED chunk %d (points %d..%d): %s\n%!" ci lo (hi - 1) msg)
+        o.quarantined;
+      exit (if nq > 0 then 2 else if nmis > 0 then 1 else 0)
+
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Float32 correctness table (paper Table 1)")
     Term.(const table1 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
@@ -236,6 +356,56 @@ let table16_cmd =
        ~doc:"Exhaustive 16-bit correctness tables (every input of bfloat16/float16/posit16)")
     Term.(const table16 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
 
+let sweep_tname =
+  Arg.(value & opt string "bfloat16" & info [ "t"; "target" ] ~doc:"Target type to sweep.")
+
+let sweep_fname = Arg.(value & opt string "log2" & info [ "f"; "function" ] ~doc:"Function name.")
+
+let stride_term =
+  Arg.(value & opt int 1
+       & info [ "stride" ]
+           ~doc:"Check every $(docv)-th pattern (1 = the full pattern space).  The stride is part \
+                 of the job identity: a checkpoint cannot be resumed under a different stride.")
+
+let chunk_term =
+  Arg.(value & opt int 4096 & info [ "chunk" ] ~doc:"Sweep points per chunk (the retry/checkpoint unit).")
+
+let ckpt_every_term =
+  Arg.(value & opt int 32
+       & info [ "checkpoint-every" ]
+           ~doc:"Chunks per batch: the checkpoint is rewritten (atomic rename) after every batch, \
+                 so a kill loses at most this many chunks of work.")
+
+let retries_term =
+  Arg.(value & opt int 2
+       & info [ "retries" ]
+           ~doc:"Retries per failing chunk before it is quarantined (reported, never silently dropped).")
+
+let dir_term =
+  Arg.(value & opt string "_sweep" & info [ "dir" ] ~doc:"Sweep state directory (checkpoint + report).")
+
+let resume_term =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume the checkpoint in $(b,--dir), re-running only chunks not yet completed.  \
+                 The final report is bit-identical to an uninterrupted run.")
+
+let cache_dir_term =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ]
+           ~doc:"Persistent oracle cache directory (default: RLIBM_ORACLE_CACHE, else \
+                 $(b,--dir)/cache).  Repeated sweeps skip Ziv's loop on every pattern already \
+                 settled there.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Resumable checkpointed full-range sweep: validate every (strided) pattern of a \
+             target against the oracle, surviving kills and faulty chunks")
+    Term.(const sweep $ jobs_term $ quality_term $ mode_term $ sweep_tname $ sweep_fname
+          $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term $ resume_term
+          $ cache_dir_term)
+
 let derived_cmd =
   Cmd.v
     (Cmd.info "derived"
@@ -245,4 +415,4 @@ let derived_cmd =
 
 let () =
   let info = Cmd.info "check" ~doc:"RLIBM-32 correctness experiments (Tables 1-2)" in
-  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd; derived_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd; derived_cmd; sweep_cmd ]))

@@ -50,6 +50,11 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
         s.per_component;
       if pass_stats then begin
         List.iter (Format.printf "%a" Rlibm.Stats.pp_pass) s.Rlibm.Stats.passes;
+        (match s.Rlibm.Stats.oracle_cache with
+        | None -> ()
+        | Some c ->
+            Format.printf "  oracle cache: %d hits, %d misses@." c.Rlibm.Stats.cache_hits
+              c.Rlibm.Stats.cache_misses);
         match s.Rlibm.Stats.lp with
         | None -> ()
         | Some l ->

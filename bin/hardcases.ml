@@ -18,13 +18,19 @@ module R = Fp.Representation
 
 (* Distance from the exact value [q] to the nearest boundary of its
    rounding interval in T, normalized by the interval width; both as
-   rationals for exactness, reported as hardness bits. *)
-let hardness (module T : R.S) (f : E.fn) x =
+   rationals for exactness, reported as hardness bits.  The
+   correctly-rounded result goes through the persistent oracle cache
+   when one is attached, so re-hunts (and sweeps over the same target)
+   skip Ziv's loop on settled inputs. *)
+let hardness ?cache (module T : R.S) (f : E.fn) pat =
+  let x = T.to_rational pat in
   match f ~prec:200 x with
   | E.Exact _ -> None (* exactly representable values are not hard cases *)
   | E.Approx v ->
       let q = Oracle.Bigfloat.to_rational v in
-      let y = E.correctly_rounded ~round:T.round_rational f x in
+      let y =
+        Sweep.Oracle_cache.memo cache pat (fun _ -> E.correctly_rounded ~round:T.round_rational f x)
+      in
       (match T.classify y with
       | R.Finite ->
           let iv = Rlibm.Rounding.interval (module T) y in
@@ -42,7 +48,7 @@ let hardness (module T : R.S) (f : E.fn) x =
           end
       | R.Inf _ | R.Nan -> None)
 
-let run jobs tname fname per_stratum top =
+let run jobs tname fname per_stratum top cache_dir =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let target =
     match tname with
@@ -54,6 +60,18 @@ let run jobs tname fname per_stratum top =
   in
   let module T = (val target.repr) in
   let spec = Funcs.Specs.by_name fname target in
+  let cache_dir =
+    match cache_dir with
+    | Some _ -> cache_dir
+    | None -> Sys.getenv_opt "RLIBM_ORACLE_CACHE"
+  in
+  let cache =
+    Option.map
+      (fun dir ->
+        Sweep.Oracle_cache.open_ ~dir ~repr:T.name ~func:fname
+          ~mode:(Fp.Rounding_mode.to_string Fp.Rounding_mode.Rne))
+      cache_dir
+  in
   let patterns =
     if T.bits = 16 then Rlibm.Enumerate.exhaustive16
     else Rlibm.Enumerate.stratified32 ~seed:1234 ~per_stratum ()
@@ -71,7 +89,7 @@ let run jobs tname fname per_stratum top =
         for k = hi - 1 downto lo do
           let pat = patterns.(k) in
           if spec.special pat = None then
-            match hardness target.repr spec.oracle (T.to_rational pat) with
+            match hardness ?cache target.repr spec.oracle pat with
             | Some h when h > 30.0 -> acc := (h, pat) :: !acc
             | _ -> ()
         done;
@@ -93,13 +111,20 @@ let run jobs tname fname per_stratum top =
         List.filter
           (fun (_, pat) ->
             let want =
-              E.correctly_rounded ~round:T.round_rational spec.oracle (T.to_rational pat)
+              Sweep.Oracle_cache.memo cache pat (fun pat ->
+                  E.correctly_rounded ~round:T.round_rational spec.oracle (T.to_rational pat))
             in
             not (Rlibm.Generator.patterns_value_equal target.repr (Rlibm.Generator.eval_pattern g pat) want))
           sorted
       in
       Printf.printf "rlibm-32 on the hard cases: %d wrong of %d\n" (List.length wrong)
-        (List.length sorted)
+        (List.length sorted);
+      Option.iter
+        (fun c ->
+          Sweep.Oracle_cache.close c;
+          Printf.printf "oracle cache: %d hits, %d misses (%d entries)\n"
+            (Sweep.Oracle_cache.hits c) (Sweep.Oracle_cache.misses c) (Sweep.Oracle_cache.size c))
+        cache
 
 open Cmdliner
 
@@ -113,10 +138,17 @@ let fname = Arg.(value & opt string "exp" & info [ "f"; "function" ] ~doc:"Funct
 let per = Arg.(value & opt int 16 & info [ "per-stratum" ] ~doc:"Patterns per stratum (32-bit targets).")
 let top = Arg.(value & opt int 20 & info [ "top" ] ~doc:"How many hardest inputs to print.")
 
+let cache_dir =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ]
+           ~doc:"Persistent oracle cache directory (default: RLIBM_ORACLE_CACHE, else no cache).  \
+                 Shared with check sweep and cached generation runs, so settled inputs skip Ziv's \
+                 loop.")
+
 let () =
   let cmd =
     Cmd.v
       (Cmd.info "hardcases" ~doc:"Find inputs near rounding boundaries (worst cases for correct rounding)")
-      Term.(const run $ jobs $ tname $ fname $ per $ top)
+      Term.(const run $ jobs $ tname $ fname $ per $ top $ cache_dir)
   in
   exit (Cmd.eval cmd)

@@ -26,7 +26,7 @@ let direction_of key =
 
 let gated key =
   let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
-  pfx "gen." || pfx "lp." || pfx "round."
+  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep."
 
 (* ------------------------------------------------------------------ *)
 (* Parsing.  The bench JSON is machine-written with a fixed shape       *)
@@ -65,12 +65,22 @@ let parse_metrics (s : string) : (string * float) list =
     let e = go (i + 1) in
     (String.sub s (i + 1) (e - i - 1), e + 1)
   in
-  let parse_number i =
+  (* Number parse failures name the metric they sit under: a malformed
+     value in a machine-written file is almost always one bad metric
+     (e.g. a nan that slipped past the writer), and "expected number"
+     with no key means grepping the whole file by hand. *)
+  let parse_number ~key i =
     let isnum c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
     let rec go j = if j < n && isnum s.[j] then go (j + 1) else j in
     let e = go i in
-    if e = i then fail "expected number";
-    (float_of_string (String.sub s i (e - i)), e)
+    if e = i then
+      fail
+        (Printf.sprintf "metric %S: expected a number, found %s" key
+           (if i >= n then "end of file" else Printf.sprintf "%C" s.[i]));
+    let lit = String.sub s i (e - i) in
+    match float_of_string_opt lit with
+    | Some v -> (v, e)
+    | None -> fail (Printf.sprintf "metric %S: malformed number %S" key lit)
   in
   let rec entries i acc =
     let i = skip_ws i in
@@ -80,8 +90,8 @@ let parse_metrics (s : string) : (string * float) list =
     else begin
       let key, i = parse_string i in
       let i = skip_ws i in
-      if i >= n || s.[i] <> ':' then fail "expected ':'";
-      let v, i = parse_number (skip_ws (i + 1)) in
+      if i >= n || s.[i] <> ':' then fail (Printf.sprintf "metric %S: expected ':'" key);
+      let v, i = parse_number ~key (skip_ws (i + 1)) in
       entries i ((key, v) :: acc)
     end
   in
@@ -100,31 +110,63 @@ let parse_file path =
 
 type verdict = {
   key : string;
-  base : float;
-  curr : float;
+  base : float option;  (* None: metric is new in the current run *)
+  curr : float option;  (* None: metric vanished from the current run *)
   ratio : float;  (* curr/base for Lower_better, base/curr for Higher_better: >1 = worse *)
   gated : bool;  (* counts toward the exit code *)
-  regressed : bool;  (* ratio > 1 + threshold (gated metrics only) *)
+  regressed : bool;  (* gated, and worse than the threshold (or vanished) *)
 }
 
-(* [compare_metrics ~threshold base curr] pairs up the metrics common to
-   both runs.  Metrics only in one file are ignored: new benchmarks are
-   not regressions, and retired ones have no current value to judge. *)
+(* Worseness ratio with the degenerate baselines handled.  A gated work
+   counter (fallbacks, pivots) legitimately sits at 0.0 until a change
+   makes it grow — growth from a zero baseline is exactly the regression
+   such a metric exists to catch, so it maps to [infinity], not to the
+   old silently-passing 1.0.  Symmetrically, a speedup that collapses to
+   zero (or a nonsense negative estimate) is a regression however large
+   the baseline was. *)
+let worse_ratio ~dir ~base ~curr =
+  match dir with
+  | Lower_better ->
+      if base > 0.0 then curr /. base
+      else if curr > 0.0 then infinity (* growth from a zero baseline *)
+      else 1.0
+  | Higher_better ->
+      if curr > 0.0 then base /. curr
+      else if base > 0.0 then infinity (* speedup collapsed to <= 0 *)
+      else 1.0
+
+(* [compare_metrics ~threshold base curr] pairs the two runs up, in
+   baseline order.  A *gated* metric present in the baseline but absent
+   from the current run is a failure, not a skip: renaming or dropping a
+   gated benchmark would otherwise un-gate it silently.  Non-gated
+   vanished metrics and metrics new in the current run are reported as
+   informational. *)
 let compare_metrics ?(threshold = 0.25) (base : (string * float) list)
     (curr : (string * float) list) : verdict list =
-  List.filter_map
-    (fun (key, b) ->
-      match List.assoc_opt key curr with
-      | None -> None
-      | Some c ->
-          let ratio =
-            match direction_of key with
-            | Lower_better -> if b > 0.0 then c /. b else 1.0
-            | Higher_better -> if c > 0.0 then b /. c else 1.0
-          in
-          let g = gated key in
-          Some { key; base = b; curr = c; ratio; gated = g; regressed = g && ratio > 1.0 +. threshold })
-    base
+  let paired =
+    List.map
+      (fun (key, b) ->
+        let g = gated key in
+        match List.assoc_opt key curr with
+        | None ->
+            (* Vanished: only a failure where the gate depended on it. *)
+            { key; base = Some b; curr = None; ratio = infinity; gated = g; regressed = g }
+        | Some c ->
+            let ratio = worse_ratio ~dir:(direction_of key) ~base:b ~curr:c in
+            { key; base = Some b; curr = Some c; ratio; gated = g; regressed = g && ratio > 1.0 +. threshold })
+      base
+  in
+  let fresh =
+    List.filter_map
+      (fun (key, c) ->
+        if List.mem_assoc key base then None
+        else
+          (* New metric: no baseline to judge against; it becomes gated
+             once this run's JSON is committed as the next baseline. *)
+          Some { key; base = None; curr = Some c; ratio = 1.0; gated = gated key; regressed = false })
+      curr
+  in
+  paired @ fresh
 
 let any_regression verdicts = List.exists (fun v -> v.regressed) verdicts
 
@@ -132,18 +174,30 @@ let pp_report fmt ~threshold verdicts =
   Format.fprintf fmt "%-45s %12s %12s %8s  %s@." "metric" "baseline" "current" "ratio" "status";
   List.iter
     (fun v ->
+      let num = function Some x -> Printf.sprintf "%12.3f" x | None -> Printf.sprintf "%12s" "-" in
       let status =
-        if v.regressed then "REGRESSED"
-        else if not v.gated then "info"
-        else if v.ratio > 1.0 then "worse (within threshold)"
-        else "ok"
+        match (v.base, v.curr) with
+        | _, None when v.regressed -> "MISSING (gated metric vanished — renamed or dropped?)"
+        | _, None -> "missing (info)"
+        | None, _ -> "new (no baseline yet)"
+        | Some _, Some _ ->
+            if v.regressed then "REGRESSED"
+            else if not v.gated then "info"
+            else if v.ratio > 1.0 then "worse (within threshold)"
+            else "ok"
       in
-      Format.fprintf fmt "%-45s %12.3f %12.3f %7.2fx  %s@." v.key v.base v.curr v.ratio status)
+      Format.fprintf fmt "%-45s %s %s %7.2fx  %s@." v.key (num v.base) (num v.curr) v.ratio status)
     verdicts;
   let bad = List.filter (fun v -> v.regressed) verdicts in
   if bad = [] then
     Format.fprintf fmt "gate: OK (%d metrics compared, threshold %.0f%%)@." (List.length verdicts)
       (100.0 *. threshold)
-  else
-    Format.fprintf fmt "gate: FAIL — %d gen.*/lp.* metric(s) regressed more than %.0f%%@."
-      (List.length bad) (100.0 *. threshold)
+  else begin
+    let missing, slow = List.partition (fun v -> v.curr = None) bad in
+    if slow <> [] then
+      Format.fprintf fmt "gate: FAIL — %d gated metric(s) regressed more than %.0f%%@."
+        (List.length slow) (100.0 *. threshold);
+    if missing <> [] then
+      Format.fprintf fmt "gate: FAIL — %d gated metric(s) missing from the current run@."
+        (List.length missing)
+  end

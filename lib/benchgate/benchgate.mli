@@ -13,15 +13,15 @@ type direction = Lower_better | Higher_better
     pivot/solve counts) should not grow. *)
 val direction_of : string -> direction
 
-(** True for the [gen.*] / [lp.*] / [round.*] families the gate fails
-    on. *)
+(** True for the [gen.*] / [lp.*] / [round.*] / [sweep.*] families the
+    gate fails on. *)
 val gated : string -> bool
 
 exception Parse_error of string
 
 (** Extract the flat ["metrics"] object of a bench JSON document.
     @raise Parse_error when the document does not have the shape
-    [bench/main.ml] writes. *)
+    [bench/main.ml] writes; value errors name the offending metric key. *)
 val parse_metrics : string -> (string * float) list
 
 (** [parse_file path] reads and parses one BENCH JSON file. *)
@@ -29,15 +29,21 @@ val parse_file : string -> (string * float) list
 
 type verdict = {
   key : string;
-  base : float;
-  curr : float;
-  ratio : float;  (** >1 means worse, whatever the direction *)
+  base : float option;  (** [None]: metric is new in the current run *)
+  curr : float option;  (** [None]: metric vanished from the current run *)
+  ratio : float;  (** >1 means worse, whatever the direction; [infinity]
+                      for growth from a zero baseline, a collapsed
+                      speedup, or a vanished gated metric *)
   gated : bool;
-  regressed : bool;  (** gated and worse by more than the threshold *)
+  regressed : bool;  (** gated, and worse by more than the threshold —
+                         or gated and missing from the current run *)
 }
 
-(** Metrics present in both runs, in baseline order; metrics unique to
-    either file are skipped (new benchmarks are not regressions). *)
+(** Pair the two runs up, in baseline order (metrics new in the current
+    run follow, informational).  A gated metric that vanished from the
+    current run is a regression — renaming or dropping a gated benchmark
+    must not un-gate it silently; so is growth of a gated zero-baseline
+    work counter or a gated speedup collapsing to zero. *)
 val compare_metrics :
   ?threshold:float -> (string * float) list -> (string * float) list -> verdict list
 

@@ -18,6 +18,12 @@ type t = {
          different coefficient vertices — so the deterministic cold path
          stays the default; flip on via RLIBM_LP_WARM=1 or generate
          --lp-warm for speed. *)
+  oracle_cache_dir : string option;
+      (* Directory of the persistent oracle cache (Sweep.Oracle_cache):
+         the generator's enumeration pass records every correctly-rounded
+         result it settles and re-reads it on the next run instead of
+         re-running Ziv's loop.  Off by default (results are identical
+         either way); enable via RLIBM_ORACLE_CACHE=<dir>. *)
 }
 
 let default =
@@ -30,4 +36,8 @@ let default =
     max_split_bits = 10;
     start_split_bits = 0;
     lp_warm = (match Sys.getenv_opt "RLIBM_LP_WARM" with Some ("1" | "true") -> true | _ -> false);
+    oracle_cache_dir =
+      (match Sys.getenv_opt "RLIBM_ORACLE_CACHE" with
+      | Some d when String.trim d <> "" -> Some (String.trim d)
+      | _ -> None);
   }

@@ -216,15 +216,28 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
   let t0 = Sys.time () in
   let lp0 = Lp.Simplex.snapshot () in
   let n_components = Array.length spec.components in
+  (* Persistent oracle cache (opt-in via cfg/RLIBM_ORACLE_CACHE): the
+     enumeration pass is a pure (pattern -> correctly-rounded pattern)
+     map per (function, repr, mode), so settled answers from previous
+     runs — generations, sweeps, hard-case hunts — are reused verbatim. *)
+  let ocache =
+    match cfg.oracle_cache_dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Sweep.Oracle_cache.open_ ~dir ~repr:T.name ~func:spec.name
+             ~mode:(Fp.Rounding_mode.to_string spec.mode))
+  in
   (* Enumeration pass (Algorithm 1's oracle sweep), domain-parallel. *)
   let deduce_one pat =
     match spec.special pat with
     | Some _ -> D_special
     | None -> (
         let y =
-          Oracle.Elementary.correctly_rounded
-            ~round:(T.round_rational ~mode:spec.mode)
-            spec.oracle (T.to_rational pat)
+          Sweep.Oracle_cache.memo ocache pat (fun pat ->
+              Oracle.Elementary.correctly_rounded
+                ~round:(T.round_rational ~mode:spec.mode)
+                spec.oracle (T.to_rational pat))
         in
         let interval = Rounding.interval spec.repr ~mode:spec.mode y in
         match Reduced.deduce spec ~pattern:pat ~interval with
@@ -237,6 +250,18 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
   in
   let oracle_pass =
     Option.map (Stats.pass_of_run ~name:"oracle") (Parallel.last_stats ())
+  in
+  (* The oracle is not consulted again after this pass: persist what it
+     settled and capture the traffic counters for Stats. *)
+  let cache_stats =
+    Option.map
+      (fun c ->
+        Sweep.Oracle_cache.close c;
+        {
+          Stats.cache_hits = Sweep.Oracle_cache.hits c;
+          cache_misses = Sweep.Oracle_cache.misses c;
+        })
+      ocache
   in
   (* Sequential merge, by reduced input, in pattern order. *)
   let merged = Array.init n_components (fun _ -> Hashtbl.create 4096) in
@@ -363,6 +388,7 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
                   lp =
                     Some
                       (Stats.lp_of_counters ~warm_mode:cfg.lp_warm lp0 (Lp.Simplex.snapshot ()));
+                  oracle_cache = cache_stats;
                 };
             }
           in

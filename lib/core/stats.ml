@@ -12,6 +12,7 @@ type t = {
   per_component : component array;
   passes : pass list;  (* sharded phases, in execution order *)
   lp : lp option;  (* LP kernel work during this generation run *)
+  oracle_cache : cache option;  (* persistent-oracle-cache traffic, if enabled *)
 }
 
 and component = {
@@ -50,6 +51,10 @@ and lp = {
   lp_refactorizations : int;
   lp_warm_fallbacks : int;
 }
+
+(* Persistent oracle cache traffic during one run (Sweep.Oracle_cache):
+   hits are Ziv-loop executions the cache saved this run. *)
+and cache = { cache_hits : int; cache_misses : int }
 
 (* Counter delta between two {!Lp.Simplex.snapshot}s bracketing a run. *)
 let lp_of_counters ~warm_mode (b : Lp.Simplex.counters) (a : Lp.Simplex.counters) =
@@ -93,6 +98,14 @@ let pp fmt t =
         c.cname c.n_constraints c.n_polynomials c.split_bits c.degree c.n_terms)
     t.per_component;
   List.iter (pp_pass fmt) t.passes;
+  (match t.oracle_cache with
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt "  oracle cache: %d hits, %d misses (%.0f%% of Ziv loops skipped)@."
+        c.cache_hits c.cache_misses
+        (if c.cache_hits + c.cache_misses > 0 then
+           100.0 *. float_of_int c.cache_hits /. float_of_int (c.cache_hits + c.cache_misses)
+         else 0.0));
   match t.lp with
   | None -> ()
   | Some l ->
@@ -102,3 +115,14 @@ let pp fmt t =
         (if l.lp_warm_mode then "warm" else "cold")
         l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots l.lp_warm_fallbacks
         l.lp_refactorizations
+
+(* One progress line of a checkpointed sweep job ({!Sweep.Engine}):
+   chunk completion (with how much came from the resumed checkpoint),
+   fault counters, oracle-cache traffic and the ETA at the observed
+   chunk rate. *)
+let pp_sweep fmt (p : Sweep.Engine.progress) =
+  Format.fprintf fmt
+    "  sweep %d/%d chunks (%d restored, %d retries, %d quarantined), cache %d hit / %d miss, \
+     %.1fs elapsed, eta %.0fs@."
+    p.Sweep.Engine.completed_chunks p.total_chunks p.restored_chunks p.retry_attempts
+    p.quarantined_chunks p.cache_hits p.cache_misses p.wall_seconds p.eta_seconds

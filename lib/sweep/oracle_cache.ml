@@ -1,0 +1,161 @@
+(* Persistent append-only oracle cache: (function, rounding mode,
+   pattern) -> correctly-rounded output pattern.
+
+   Ziv's loop (the arbitrary-precision oracle) dominates every sweep,
+   re-validation and hard-case hunt, yet its answers never change for a
+   fixed (function, representation, mode).  This cache makes them pay
+   once: each (repr, func, mode) triple owns one file in the cache
+   directory, a text header identifying the triple followed by fixed
+   16-byte little-endian records (pattern, output-pattern).
+
+   Crash tolerance is structural: records are only ever appended, so the
+   worst a kill can leave behind is a partial trailing record, which
+   {!open_} detects by length arithmetic and truncates away.  There is no
+   in-place mutation to corrupt.
+
+   Invalidation: answers depend only on the oracle implementation, so the
+   cache survives table regeneration, config changes and code changes to
+   the runtime path.  An oracle bug fix is the one event that must
+   invalidate — bump {!format_version} (or delete the directory); a
+   version or identity mismatch in the header refuses the file loudly
+   rather than serving stale bits.
+
+   Thread-safety: one mutex guards the table, the append buffer and the
+   counters, so worker domains can call {!find}/{!add}/{!memo}
+   concurrently.  The expensive oracle computation in {!memo} runs
+   outside the lock; two domains racing on the same pattern at worst
+   compute it twice and record it once. *)
+
+let format_version = 1
+
+type t = {
+  path : string;
+  header : string;
+  table : (int, int) Hashtbl.t;
+  mutable fresh : (int * int) list;  (* buffered appends, newest first *)
+  mutable hits : int;
+  mutable misses : int;
+  mu : Mutex.t;
+}
+
+let header_of ~repr ~func ~mode =
+  Printf.sprintf "RLOC %d %s %s %s\n" format_version repr func mode
+
+let record_bytes = 16
+
+(* Ensure [dir] exists (racing creators are fine). *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let file_name ~repr ~func ~mode = Printf.sprintf "%s.%s.%s.orc" repr func mode
+
+(** Open (creating if absent) the cache for one (repr, func, mode).
+    @raise Failure if the file exists but its header names a different
+    triple or format version — stale bits are never served silently. *)
+let open_ ~dir ~repr ~func ~mode =
+  mkdir_p dir;
+  let path = Filename.concat dir (file_name ~repr ~func ~mode) in
+  let header = header_of ~repr ~func ~mode in
+  let hlen = String.length header in
+  let table = Hashtbl.create 4096 in
+  (if Sys.file_exists path then begin
+     let ic = open_in_bin path in
+     let len = in_channel_length ic in
+     if len < hlen then begin
+       close_in ic;
+       failwith (Printf.sprintf "oracle cache %s: truncated header" path)
+     end;
+     let got = really_input_string ic hlen in
+     if got <> header then begin
+       close_in ic;
+       failwith
+         (Printf.sprintf "oracle cache %s: header mismatch (found %S, want %S) — stale or foreign cache"
+            path (String.trim got) (String.trim header))
+     end;
+     let body = len - hlen in
+     let whole = body - (body mod record_bytes) in
+     let buf = Bytes.create record_bytes in
+     let off = ref 0 in
+     while !off < whole do
+       really_input ic buf 0 record_bytes;
+       let pat = Int64.to_int (Bytes.get_int64_le buf 0) in
+       let out = Int64.to_int (Bytes.get_int64_le buf 8) in
+       Hashtbl.replace table pat out;
+       off := !off + record_bytes
+     done;
+     close_in ic;
+     (* Drop a partial trailing record left by a kill mid-append, so the
+        next append starts on a record boundary. *)
+     if body mod record_bytes <> 0 then Unix.truncate path (hlen + whole)
+   end
+   else begin
+     let oc = open_out_bin path in
+     output_string oc header;
+     close_out oc
+   end);
+  { path; header; table; fresh = []; hits = 0; misses = 0; mu = Mutex.create () }
+
+let find t pat =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.table pat with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t pat out =
+  Mutex.protect t.mu (fun () ->
+      if not (Hashtbl.mem t.table pat) then begin
+        Hashtbl.replace t.table pat out;
+        t.fresh <- (pat, out) :: t.fresh
+      end)
+
+(** [memo c pat f] is the cached output for [pat], computing and
+    recording [f pat] on a miss.  [memo None pat f] is just [f pat]. *)
+let memo c pat f =
+  match c with
+  | None -> f pat
+  | Some t -> (
+      match find t pat with
+      | Some v -> v
+      | None ->
+          let v = f pat in
+          add t pat v;
+          v)
+
+(** Append all buffered records to disk and flush.  Called from one
+    domain at a time (the engine's checkpoint barrier). *)
+let sync t =
+  let pending = Mutex.protect t.mu (fun () ->
+      let p = t.fresh in
+      t.fresh <- [];
+      List.rev p)
+  in
+  if pending <> [] then begin
+    let fd = Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    let b = Buffer.create (record_bytes * List.length pending) in
+    List.iter
+      (fun (pat, out) ->
+        Buffer.add_int64_le b (Int64.of_int pat);
+        Buffer.add_int64_le b (Int64.of_int out))
+      pending;
+    let s = Buffer.to_bytes b in
+    let n = Bytes.length s in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write fd s !written (n - !written)
+    done;
+    Unix.close fd
+  end
+
+let close t = sync t
+
+let hits t = Mutex.protect t.mu (fun () -> t.hits)
+let misses t = Mutex.protect t.mu (fun () -> t.misses)
+let size t = Mutex.protect t.mu (fun () -> Hashtbl.length t.table)

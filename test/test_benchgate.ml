@@ -44,6 +44,7 @@ let test_direction () =
   Alcotest.(check bool) "gen is gated" true (Benchgate.gated "gen.float32_log2_s");
   Alcotest.(check bool) "lp is gated" true (Benchgate.gated "lp.dense_solve_ns");
   Alcotest.(check bool) "round is gated" true (Benchgate.gated "round.interval_bf16_odd_ns");
+  Alcotest.(check bool) "sweep is gated" true (Benchgate.gated "sweep.bf16_log2_cold_s");
   Alcotest.(check bool) "bigint is not gated" false (Benchgate.gated "bigint.mul.speedup")
 
 (* The acceptance scenario: a synthetic >25% wall-clock regression in a
@@ -77,15 +78,79 @@ let test_ungated_families_ignored () =
   let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
   Alcotest.(check bool) "bigint collapse is informational" false (Benchgate.any_regression vs)
 
-(* Metrics present on only one side are skipped, both ways. *)
-let test_asymmetric_metrics_skipped () =
-  let curr = ("lp.new_metric_ns", 1.0) :: List.remove_assoc "lp.warm_grow_pivots" base_metrics in
+(* The gate's first blind spot: a gated metric that vanishes from the
+   current run used to be skipped silently — renaming or dropping a
+   gated benchmark un-gated it.  Now it is a failure. *)
+let test_vanished_gated_metric_fails () =
+  let curr = List.remove_assoc "lp.warm_grow_pivots" base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  Alcotest.(check bool) "vanished gated metric fails the gate" true (Benchgate.any_regression vs);
+  let v = List.find (fun (v : Benchgate.verdict) -> v.key = "lp.warm_grow_pivots") vs in
+  Alcotest.(check bool) "the vanished metric is the one flagged" true v.regressed;
+  Alcotest.(check bool) "its current value is absent" true (v.curr = None)
+
+(* ... but a vanished *non-gated* metric stays informational, and a
+   metric new in the current run is never a regression (it has no
+   baseline to regress from). *)
+let test_asymmetric_ungated_and_new_ok () =
+  let curr =
+    ("lp.new_metric_ns", 1.0)
+    :: List.remove_assoc "bigint.mixed_small(512).speedup" base_metrics
+  in
   let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
   Alcotest.(check bool) "no spurious regressions" false (Benchgate.any_regression vs);
-  Alcotest.(check bool) "dropped metric not compared" true
-    (not (List.exists (fun (v : Benchgate.verdict) -> v.key = "lp.warm_grow_pivots") vs));
-  Alcotest.(check bool) "new metric not compared" true
-    (not (List.exists (fun (v : Benchgate.verdict) -> v.key = "lp.new_metric_ns") vs))
+  let dropped = List.find (fun (v : Benchgate.verdict) -> v.key = "bigint.mixed_small(512).speedup") vs in
+  Alcotest.(check bool) "ungated vanish reported, not failed" true
+    (dropped.curr = None && not dropped.regressed);
+  let fresh = List.find (fun (v : Benchgate.verdict) -> v.key = "lp.new_metric_ns") vs in
+  Alcotest.(check bool) "new metric reported, not failed" true
+    (fresh.base = None && not fresh.regressed)
+
+(* The gate's second blind spot: a gated work counter at 0.0 in the
+   baseline.  curr/base was computed as 0/0 -> reported 1.0, so any
+   growth passed.  Growth from zero is now an infinite ratio. *)
+let test_zero_baseline_growth_fails () =
+  let base = ("lp.float32_log2_warm_fallbacks", 0.0) :: base_metrics in
+  let curr = ("lp.float32_log2_warm_fallbacks", 37.0) :: base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base curr in
+  let v = List.find (fun (v : Benchgate.verdict) -> v.key = "lp.float32_log2_warm_fallbacks") vs in
+  Alcotest.(check bool) "0 -> 37 fallbacks trips the gate" true v.regressed;
+  Alcotest.(check bool) "ratio is infinite" true (v.ratio = infinity)
+
+let test_zero_stays_zero_ok () =
+  let both = ("lp.float32_log2_warm_fallbacks", 0.0) :: base_metrics in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 both both in
+  Alcotest.(check bool) "0 -> 0 passes" false (Benchgate.any_regression vs)
+
+(* Symmetric blind spot on the Higher_better side: base/curr with a
+   zero-or-negative current speedup used to divide to <= 0, under the
+   1.25 bar, and pass. *)
+let test_speedup_collapse_fails () =
+  let curr =
+    List.map (fun (k, v) -> if k = "lp.warm_grow_speedup" then (k, 0.0) else (k, v)) base_metrics
+  in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base_metrics curr in
+  let v = List.find (fun (v : Benchgate.verdict) -> v.key = "lp.warm_grow_speedup") vs in
+  Alcotest.(check bool) "speedup collapsing to 0 trips the gate" true v.regressed;
+  Alcotest.(check bool) "ratio is infinite" true (v.ratio = infinity)
+
+(* Malformed numbers name the metric they sit under. *)
+let test_parse_error_names_the_key () =
+  let doc =
+    "{\n  \"metrics\": {\n    \"gen.float32_log2_s\": 2.2,\n    \"lp.warm_grow_speedup\": oops\n  }\n}\n"
+  in
+  match Benchgate.parse_metrics doc with
+  | _ -> Alcotest.fail "malformed number accepted"
+  | exception Benchgate.Parse_error msg ->
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names the offending key" msg)
+        true
+        (contains "lp.warm_grow_speedup" msg)
 
 let () =
   Alcotest.run "benchgate"
@@ -99,6 +164,12 @@ let () =
           Alcotest.test_case "flags lp speedup drop" `Quick test_flags_lp_speedup_drop;
           Alcotest.test_case "within threshold passes" `Quick test_within_threshold_ok;
           Alcotest.test_case "ungated families ignored" `Quick test_ungated_families_ignored;
-          Alcotest.test_case "asymmetric metrics skipped" `Quick test_asymmetric_metrics_skipped;
+          Alcotest.test_case "vanished gated metric fails" `Quick test_vanished_gated_metric_fails;
+          Alcotest.test_case "ungated vanish / new metric informational" `Quick
+            test_asymmetric_ungated_and_new_ok;
+          Alcotest.test_case "zero-baseline growth fails" `Quick test_zero_baseline_growth_fails;
+          Alcotest.test_case "zero stays zero passes" `Quick test_zero_stays_zero_ok;
+          Alcotest.test_case "speedup collapse fails" `Quick test_speedup_collapse_fails;
+          Alcotest.test_case "parse error names the key" `Quick test_parse_error_names_the_key;
         ] );
     ]
