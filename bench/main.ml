@@ -873,6 +873,96 @@ let sweep_section () =
         cold warm (cold /. warm);
       rm_rf root
 
+(* Campaign: the full 2^16 bfloat16 log2 space through the sharded
+   driver, fast verifier vs oracle-only.  The acceptance triple lives
+   here as gated metrics: inputs/sec through the fast path, the
+   fast-path percentage (a correctness-of-strategy canary: if the
+   certificate starts missing, this collapses long before anything is
+   wrong enough to fail a sweep), and a byte-compare of the two reports
+   (100 = identical).  Everything runs in-process: bench shares its
+   process with domain-spawning sections, so forking is off the table
+   and the throughput is per-worker by construction. *)
+let campaign_section () =
+  pr_header "CAMPAIGN: sharded bfloat16 log2 certification, fast verifier vs oracle (all 2^16)";
+  let t = Funcs.Specs.bfloat16 in
+  let module T = Fp.Bfloat16 in
+  match Funcs.Libm.get ~quality t "log2" with
+  | exception Failure msg -> Printf.printf "skipped (%s)\n" msg
+  | g ->
+      let n = 1 lsl T.bits in
+      let root =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "rlibm_bench_campaign.%d" (Unix.getpid ()))
+      in
+      let rec rm_rf p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists root then rm_rf root;
+      let identity = "bench-campaign v1 target=bfloat16 func=log2 stride=1" in
+      let read_file p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let run tag policy shards =
+        let counters = Sweep.Verify.counters () in
+        let job ~shard =
+          let cache =
+            Sweep.Oracle_cache.open_
+              ~dir:(Filename.concat root (Printf.sprintf "%s-cache-%d" tag shard))
+              ~repr:T.name ~func:"log2" ~mode:"rne"
+          in
+          let v = Rlibm.Verifier.make ~counters ~cache ~policy g in
+          { Campaign.f = Sweep.Verify.sweep_fn v ~stride:1 (); cache = Some cache;
+            counters = Some counters }
+        in
+        match
+          Campaign.run ~dir:(Filename.concat root tag) ~identity ~n ~shards ~chunk_size:1024
+            ~exec:Campaign.In_process ~job ()
+        with
+        | Error msg ->
+            Printf.printf "campaign (%-6s) FAILED: %s\n%!" tag msg;
+            None
+        | Ok o ->
+            let m = o.Campaign.merged in
+            Printf.printf
+              "campaign (%-6s) %8.3f s  (%d points, %d shards, %d fast / %d escalated, %d \
+               mismatches)\n%!"
+              tag m.Campaign.Report.m_busy_seconds n shards m.m_fast m.m_escalated
+              (Array.length m.m_mismatches);
+            Some (m, read_file o.report_path)
+      in
+      (match (run "fast" `Fast 4, run "oracle" `Oracle 1) with
+      | Some (mf, fast_text), Some (_, oracle_text) ->
+          let st =
+            {
+              Rlibm.Stats.c_items = n;
+              c_shards = mf.Campaign.Report.m_n_shards;
+              c_busy_seconds = mf.m_busy_seconds;
+              c_wall_seconds = mf.m_busy_seconds;
+              c_fast = mf.m_fast;
+              c_escalated = mf.m_escalated;
+              c_mismatches = Array.length mf.m_mismatches;
+              c_quarantined = Array.length mf.m_quarantined;
+            }
+          in
+          Rlibm.Stats.pp_campaign Format.std_formatter st;
+          record "campaign.bf16_log2_fast_s" mf.m_busy_seconds;
+          record "campaign.inputs_per_sec" (Rlibm.Stats.campaign_inputs_per_second st);
+          record "campaign.fast_path_pct" (Rlibm.Stats.campaign_fast_pct st);
+          record "campaign.report_match_pct" (if fast_text = oracle_text then 100.0 else 0.0);
+          record "campaign.projected_full32_8workers_s"
+            (Rlibm.Stats.campaign_projected_seconds st ~n_items:(1 lsl 32) ~workers:8);
+          Printf.printf "fast report %s oracle report\n%!"
+            (if fast_text = oracle_text then "==" else "!=")
+      | _ -> ());
+      rm_rf root
+
 let write_json () =
   let rev =
     try
@@ -921,4 +1011,5 @@ let () =
   if want "gen" then gen ();
   if want "round" then round_section ();
   if want "sweep" then sweep_section ();
+  if want "campaign" then campaign_section ();
   if json then write_json ()

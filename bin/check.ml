@@ -264,16 +264,37 @@ let write_report path ~identity (o : Sweep.Engine.outcome) =
   close_out oc;
   Sys.rename tmp path
 
-let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir =
+(* Resolve the verifier policy, refusing [`Fast] when the certificate
+   would be unsound (non-exhaustive generation) and reporting what
+   [`Auto] picked. *)
+let resolve_policy (policy : Rlibm.Verifier.policy) (g : G.generated) =
+  match policy with
+  | `Fast when not (Rlibm.Verifier.certifiable g) ->
+      prerr_endline
+        (Printf.sprintf
+           "--verifier fast: %s was generated from %d patterns, not the full 2^%d — the \
+            oracle-free certificate is only sound over an exhaustive enumeration (use auto or \
+            oracle)"
+           g.G.spec.name g.G.stats.n_inputs
+           (let module T = (val g.G.spec.repr) in
+            T.bits));
+      exit 3
+  | `Auto -> if Rlibm.Verifier.certifiable g then `Fast else `Oracle
+  | (`Fast | `Oracle) as p -> p
+
+let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir
+    verifier =
   set_jobs jobs;
   let t = apply_mode mode (target_by_name tname) in
   let module T = (val t.repr) in
   let g = Funcs.Libm.get ~quality t fname in
-  let compiled = G.compile g in
   let spec = g.G.spec in
   let stride = Stdlib.max 1 stride in
   let n = (((1 lsl T.bits) - 1) / stride) + 1 in
   let mode_s = Fp.Rounding_mode.to_string spec.mode in
+  (* The verifier policy is NOT part of the identity: fast and oracle
+     verification are two ways of computing the same verdicts, and their
+     reports must stay interchangeable (byte-identical). *)
   let identity =
     Printf.sprintf "rlibm-sweep v1 target=%s func=%s mode=%s bits=%d stride=%d quality=%s"
       t.tname fname mode_s T.bits stride (quality_name quality)
@@ -289,27 +310,14 @@ let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resu
         | _ -> Filename.concat dir "cache")
   in
   let cache = Sweep.Oracle_cache.open_ ~dir:cache_dir ~repr:T.name ~func:fname ~mode:mode_s in
-  let truth pat =
-    match spec.special pat with
-    | Some y -> y
-    | None ->
-        Sweep.Oracle_cache.memo (Some cache) pat (fun pat ->
-            Oracle.Elementary.correctly_rounded
-              ~round:(T.round_rational ~mode:spec.mode)
-              spec.oracle (T.to_rational pat))
-  in
-  let f ~lo ~hi =
-    let acc = ref [] in
-    for i = hi - 1 downto lo do
-      let pat = i * stride in
-      let want = truth pat in
-      let got = compiled pat in
-      if not (value_equal (module T) got want) then
-        acc := { Sweep.Checkpoint.pattern = pat; got; want } :: !acc
-    done;
-    !acc
-  in
-  Printf.printf "sweep: %s — %d points in chunks of %d (dir %s%s)\n%!" identity n chunk dir
+  let policy = resolve_policy verifier g in
+  let counters = Sweep.Verify.counters () in
+  let v = Rlibm.Verifier.make ~counters ~cache ~policy g in
+  let f = Sweep.Verify.sweep_fn v ~stride () in
+  Printf.printf "sweep: %s — %d points in chunks of %d, %s verifier (dir %s%s)\n%!" identity n
+    chunk
+    (match policy with `Fast -> "fast (oracle on escalation)" | `Oracle -> "oracle")
+    dir
     (if resume then ", resuming" else "");
   let last_print = ref 0.0 in
   let progress (p : Sweep.Engine.progress) =
@@ -322,7 +330,7 @@ let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resu
   in
   match
     Sweep.Engine.run ~dir ~identity ~n ~chunk_size:chunk ~max_retries:retries
-      ~checkpoint_every:ckpt_every ~resume ~cache ~progress f
+      ~checkpoint_every:ckpt_every ~resume ~cache ~verify:counters ~progress f
   with
   | Error msg ->
       prerr_endline msg;
@@ -334,13 +342,138 @@ let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resu
       let nmis = Array.length o.mismatches and nq = List.length o.quarantined in
       Printf.printf
         "sweep done: %d points, %d mismatches, %d quarantined chunks, %d retries, cache %d hit / \
-         %d miss\nreport: %s\n%!"
-        n nmis nq o.stats.retry_attempts o.stats.cache_hits o.stats.cache_misses report;
+         %d miss, verifier %d fast / %d escalated\nreport: %s\n%!"
+        n nmis nq o.stats.retry_attempts o.stats.cache_hits o.stats.cache_misses
+        (Sweep.Verify.fast counters) (Sweep.Verify.escalated counters) report;
       List.iter
         (fun (ci, lo, hi, msg) ->
           Printf.printf "  QUARANTINED chunk %d (points %d..%d): %s\n%!" ci lo (hi - 1) msg)
         o.quarantined;
       exit (if nq > 0 then 2 else if nmis > 0 then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded campaign: the sweep scaled out to worker processes.  The     *)
+(* parent plans chunk-aligned shards, forks one worker per shard (or    *)
+(* runs them inline), each worker sweeps its range through its own      *)
+(* engine checkpoint, and the merge step welds the shard reports into   *)
+(* one campaign verdict.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir
+    verifier shards workers shard_sel do_merge =
+  (* OCaml refuses fork once a domain has been spawned, so the parent
+     pins itself to inline execution; [--jobs] applies inside workers. *)
+  Parallel.set_jobs 1;
+  let t = apply_mode mode (target_by_name tname) in
+  let module T = (val t.repr) in
+  let stride = Stdlib.max 1 stride in
+  let n = (((1 lsl T.bits) - 1) / stride) + 1 in
+  let mode_s = Fp.Rounding_mode.to_string t.mode in
+  (* Free of verifier policy, shard count and worker count: the merged
+     report must byte-compare across all of them. *)
+  let identity =
+    Printf.sprintf "rlibm-campaign v1 target=%s func=%s mode=%s bits=%d stride=%d quality=%s"
+      t.tname fname mode_s T.bits stride (quality_name quality)
+  in
+  let finish (o : Campaign.outcome) =
+    let m = o.merged in
+    let quarantined_items =
+      Array.fold_left (fun a (lo, hi, _) -> a + (hi - lo)) 0 m.m_quarantined
+    in
+    let st =
+      {
+        Rlibm.Stats.c_items = n - quarantined_items;
+        c_shards = m.m_n_shards;
+        c_busy_seconds = m.m_busy_seconds;
+        c_wall_seconds = o.wall_seconds;
+        c_fast = m.m_fast;
+        c_escalated = m.m_escalated;
+        c_mismatches = Array.length m.m_mismatches;
+        c_quarantined = Array.length m.m_quarantined;
+      }
+    in
+    Rlibm.Stats.pp_campaign Format.std_formatter st;
+    Printf.printf "report: %s\n%!" o.report_path;
+    exit
+      (if Array.length m.m_quarantined > 0 then 2
+       else if Array.length m.m_mismatches > 0 then 1
+       else 0)
+  in
+  if do_merge then begin
+    match Campaign.merge_only ~dir ~identity ~n ~shards ~chunk_size:chunk () with
+    | Error msg ->
+        prerr_endline msg;
+        exit 3
+    | Ok o -> finish o
+  end
+  else begin
+    let g = Funcs.Libm.get ~quality t fname in
+    let policy = resolve_policy verifier g in
+    let counters = Sweep.Verify.counters () in
+    (* One cache file per shard: the append-only cache format is not
+       safe for concurrent writer processes. *)
+    let shard_cache shard =
+      let base = match cache_dir with Some d -> d | None -> dir in
+      Filename.concat (Filename.concat base (Printf.sprintf "shard-%04d" shard)) "cache"
+    in
+    let job ~shard =
+      let cache =
+        Sweep.Oracle_cache.open_ ~dir:(shard_cache shard) ~repr:T.name ~func:fname ~mode:mode_s
+      in
+      let v = Rlibm.Verifier.make ~counters ~cache ~policy g in
+      { Campaign.f = Sweep.Verify.sweep_fn v ~stride (); cache = Some cache; counters = Some counters }
+    in
+    let last_print = ref 0.0 in
+    let progress (p : Sweep.Engine.progress) =
+      let now = Unix.gettimeofday () in
+      if now -. !last_print >= 1.0 then begin
+        last_print := now;
+        Rlibm.Stats.pp_sweep Format.std_formatter p
+      end
+    in
+    Printf.printf "campaign: %s — %d points, %d shards, %s verifier (dir %s%s)\n%!" identity n
+      shards
+      (match policy with `Fast -> "fast (oracle on escalation)" | `Oracle -> "oracle")
+      dir
+      (if resume then ", resuming" else "");
+    match shard_sel with
+    | Some s -> (
+        (* Run exactly one shard in this process (a worker invocation —
+           what the fork driver does for you, by hand). *)
+        match Campaign.Plan.make ~n_items:n ~chunk_size:chunk ~shards with
+        | Error msg ->
+            prerr_endline msg;
+            exit 3
+        | Ok plan ->
+            if s < 0 || s >= Campaign.Plan.n_shards plan then begin
+              Printf.eprintf "campaign: no shard %d in a %d-shard plan\n%!" s shards;
+              exit 3
+            end;
+            (match
+               Campaign.run_shard ~dir ~identity ~plan ~shard:s ~max_retries:retries
+                 ~checkpoint_every:ckpt_every ?jobs ~resume ~progress (job ~shard:s)
+             with
+            | Error msg ->
+                prerr_endline msg;
+                exit 3
+            | Ok r ->
+                Printf.printf
+                  "shard %d done: [%d,%d), %d mismatches, %d quarantined ranges, %d fast / %d \
+                   escalated\n%!"
+                  s r.lo r.hi (Array.length r.mismatches) (Array.length r.quarantined) r.fast
+                  r.escalated;
+                exit 0))
+    | None -> (
+        let exec = if workers <= 0 then Campaign.In_process else Campaign.Fork workers in
+        match
+          Campaign.run ~dir ~identity ~n ~shards ~chunk_size:chunk ~max_retries:retries
+            ~checkpoint_every:ckpt_every ?jobs ~resume ~progress ~exec ~job ()
+        with
+        | Error msg ->
+            prerr_endline msg;
+            exit 3
+        | Ok o -> finish o)
+  end
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Float32 correctness table (paper Table 1)")
@@ -397,6 +530,17 @@ let cache_dir_term =
                  $(b,--dir)/cache).  Repeated sweeps skip Ziv's loop on every pattern already \
                  settled there.")
 
+let verifier_term ~default =
+  Arg.(value
+       & opt (enum [ ("auto", `Auto); ("fast", `Fast); ("oracle", `Oracle) ]) default
+       & info [ "verifier" ]
+           ~doc:"Verification strategy: $(b,oracle) runs Ziv's arbitrary-precision loop on every \
+                 pattern; $(b,fast) re-evaluates the compiled polynomial and certifies against \
+                 the stored rounding-interval table, escalating to the oracle only on a \
+                 certificate miss (sound only for exhaustively generated functions); \
+                 $(b,auto) picks fast exactly when that soundness condition holds.  The verdicts \
+                 and the report are identical either way.")
+
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
@@ -404,7 +548,45 @@ let sweep_cmd =
              target against the oracle, surviving kills and faulty chunks")
     Term.(const sweep $ jobs_term $ quality_term $ mode_term $ sweep_tname $ sweep_fname
           $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term $ resume_term
-          $ cache_dir_term)
+          $ cache_dir_term $ verifier_term ~default:`Oracle)
+
+let shards_term =
+  Arg.(value & opt int 4
+       & info [ "shards" ]
+           ~doc:"Contiguous chunk-aligned sub-ranges the pattern space is cut into.  Part of the \
+                 shard state layout: resume and merge must use the same value.")
+
+let workers_term =
+  Arg.(value & opt int 2
+       & info [ "workers" ]
+           ~doc:"Concurrent worker processes (fork-based).  0 runs the shards sequentially in \
+                 this process (no fork).")
+
+let shard_sel_term =
+  Arg.(value & opt (some int) None
+       & info [ "shard" ]
+           ~doc:"Run only shard $(docv) of the plan in this process, then exit — the manual \
+                 worker invocation (one machine of a distributed campaign, or a smoke test's \
+                 kill target).  Merge separately with $(b,--merge).")
+
+let merge_term =
+  Arg.(value & flag
+       & info [ "merge" ]
+           ~doc:"Run nothing: load the shard reports under $(b,--dir), refuse overlaps/gaps, and \
+                 write the merged campaign report.")
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Sharded certification campaign: cut the pattern space into chunk-aligned shards, \
+             sweep each in its own worker process with its own checkpoint (surviving worker \
+             kills), and merge the shard reports into one campaign verdict.  The fast verifier \
+             certifies most inputs without the Ziv oracle; the merged report is byte-identical \
+             at any shard/worker count and under either verifier.")
+    Term.(const campaign $ jobs_term $ quality_term $ mode_term $ sweep_tname $ sweep_fname
+          $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term $ resume_term
+          $ cache_dir_term $ verifier_term ~default:`Auto $ shards_term $ workers_term
+          $ shard_sel_term $ merge_term)
 
 let derived_cmd =
   Cmd.v
@@ -415,4 +597,6 @@ let derived_cmd =
 
 let () =
   let info = Cmd.info "check" ~doc:"RLIBM-32 correctness experiments (Tables 1-2)" in
-  exit (Cmd.eval (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd; derived_cmd; sweep_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ table1_cmd; table2_cmd; table16_cmd; derived_cmd; sweep_cmd; campaign_cmd ]))

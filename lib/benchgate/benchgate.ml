@@ -14,19 +14,22 @@ type direction =
 
 (* Infer the improvement direction from the metric name, matching the
    naming convention of bench/main.ml: times end in _ns/_s, ratios
-   contain "speedup", everything else (pivot/solve/fallback counts) is
-   work and should not grow. *)
+   contain "speedup", throughputs contain "per_sec", percentages of a
+   good thing (fast-path share, report agreement) end in "_pct";
+   everything else (pivot/solve/fallback counts) is work and should not
+   grow. *)
 let direction_of key =
   let contains sub s =
     let n = String.length sub and m = String.length s in
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
     go 0
   in
-  if contains "speedup" key then Higher_better else Lower_better
+  if contains "speedup" key || contains "per_sec" key || contains "_pct" key then Higher_better
+  else Lower_better
 
 let gated key =
   let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
-  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep."
+  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep." || pfx "campaign."
 
 (* ------------------------------------------------------------------ *)
 (* Parsing.  The bench JSON is machine-written with a fixed shape       *)

@@ -1,0 +1,283 @@
+(* Sharded certification campaigns: fork-based fan-out of Sweep.Engine.
+
+   Why fork and not the Parallel domain pool: a campaign at 2^32 scale
+   must survive a worker *crash* (OOM kill, node reboot) and must be
+   able to span invocations and machines.  One domain pool dies with its
+   process; separate worker processes each own a shard directory with
+   their own Sweep.Engine checkpoint, so any subset of shards can be
+   re-run, resumed or farmed out elsewhere, and the merge step is the
+   only place the pieces meet.
+
+   OCaml 5 refuses [Unix.fork] once any domain has ever been spawned in
+   the process, so a forking campaign driver must run before/without
+   domains — keep [Parallel.set_jobs 1] in the parent and let each
+   worker child set its own job count ([jobs] here applies inside the
+   workers).  [In_process] runs the shards sequentially in this process
+   instead: same shard state, same reports, no fork — for tests,
+   benchmarks and environments where fork is unavailable.
+
+   Per-shard resources: [job ~shard] is called in the worker process
+   (after the fork, or inline for [In_process]) so each shard can open
+   its own oracle cache — the append-only cache file format is not safe
+   for concurrent writers, so shards must not share one cache file. *)
+
+(* campaign.ml is the library's toplevel module, so re-export the
+   pieces: Campaign.Plan, Campaign.Report. *)
+module Plan = Plan
+module Report = Report
+
+type job = {
+  f : lo:int -> hi:int -> Sweep.Checkpoint.mismatch list;
+      (* campaign-global item coordinates, like a 1-shard sweep's *)
+  cache : Sweep.Oracle_cache.t option;  (* synced at checkpoints, closed with the shard *)
+  counters : Sweep.Verify.counters option;  (* the verifier's, for the shard report *)
+}
+
+type exec = In_process | Fork of int  (* concurrent worker processes *)
+
+type outcome = {
+  plan : Plan.t;
+  merged : Report.merged;
+  report_path : string;
+  wall_seconds : float;  (* driver wall clock for this invocation *)
+}
+
+let shard_identity ~identity (plan : Plan.t) s =
+  let lo, hi = plan.shards.(s) in
+  Printf.sprintf "%s shard=[%d,%d)" identity lo hi
+
+(** Run one shard to completion in this process and persist its report.
+    Resumes the shard's own engine checkpoint under [resume]. *)
+let run_shard ~dir ~identity ~(plan : Plan.t) ~shard ?(max_retries = 2)
+    ?(checkpoint_every = Sweep.Engine.default_checkpoint_every) ?jobs ?(resume = false) ?progress
+    (j : job) : (Report.t, string) result =
+  let lo, hi = plan.shards.(shard) in
+  let sdir = Plan.shard_dir dir shard in
+  let fast0 = match j.counters with Some c -> Sweep.Verify.fast c | None -> 0 in
+  let esc0 = match j.counters with Some c -> Sweep.Verify.escalated c | None -> 0 in
+  let f ~lo:l ~hi:h = j.f ~lo:(l + lo) ~hi:(h + lo) in
+  let r =
+    Sweep.Engine.run ~dir:sdir ~identity:(shard_identity ~identity plan shard) ~n:(hi - lo)
+      ~chunk_size:plan.chunk_size ~max_retries ~checkpoint_every ?jobs ~resume ?cache:j.cache
+      ?verify:j.counters ?progress f
+  in
+  (match j.cache with Some c -> Sweep.Oracle_cache.close c | None -> ());
+  match r with
+  | Error msg -> Error (Printf.sprintf "shard %d: %s" shard msg)
+  | Ok o ->
+      let report =
+        {
+          Report.identity;
+          n_items = plan.n_items;
+          chunk_size = plan.chunk_size;
+          lo;
+          hi;
+          mismatches = o.mismatches;
+          quarantined =
+            Array.of_list
+              (List.map (fun (_ci, qlo, qhi, msg) -> (qlo + lo, qhi + lo, msg)) o.quarantined);
+          fast = (match j.counters with Some c -> Sweep.Verify.fast c - fast0 | None -> 0);
+          escalated = (match j.counters with Some c -> Sweep.Verify.escalated c - esc0 | None -> 0);
+          wall_seconds = o.stats.wall_seconds;
+        }
+      in
+      Report.save ~path:(Report.path ~shard_dir:sdir) report;
+      Ok report
+
+(* A shard whose report file loads cleanly and matches this campaign is
+   complete; anything else (absent, torn, foreign) means the shard still
+   has work.  The engine's own identity/geometry checks guard the
+   checkpoint underneath. *)
+let shard_done ~identity ~(plan : Plan.t) ~dir s =
+  let p = Report.path ~shard_dir:(Plan.shard_dir dir s) in
+  Sys.file_exists p
+  &&
+  match Report.load ~path:p with
+  | Error _ -> false
+  | Ok r ->
+      let lo, hi = plan.shards.(s) in
+      r.identity = identity && r.n_items = plan.n_items && r.chunk_size = plan.chunk_size
+      && r.lo = lo && r.hi = hi
+
+(* Fork-based scheduler: at most [workers] children alive; each child
+   runs exactly one shard and exits 0 on success.  We always reap every
+   child we started before reporting, so no zombies outlive the call. *)
+let run_forked ~dir ~identity ~plan ~max_retries ~checkpoint_every ~jobs ~resume ~progress
+    ~(job : shard:int -> job) ~workers pending =
+  let failures = ref [] in
+  let live = Hashtbl.create 8 in
+  let reap () =
+    let pid, status = Unix.wait () in
+    match Hashtbl.find_opt live pid with
+    | None -> ()  (* not ours; implausible, but harmless *)
+    | Some s ->
+        Hashtbl.remove live pid;
+        (match status with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED c -> failures := (s, Printf.sprintf "exit code %d" c) :: !failures
+        | Unix.WSIGNALED sg -> failures := (s, Printf.sprintf "killed by signal %d" sg) :: !failures
+        | Unix.WSTOPPED _ -> failures := (s, "stopped") :: !failures)
+  in
+  let spawn s =
+    (* Flush before forking so buffered output is not emitted twice. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            match
+              run_shard ~dir ~identity ~plan ~shard:s ~max_retries ~checkpoint_every ?jobs ~resume
+                ?progress (job ~shard:s)
+            with
+            | Ok _ -> 0
+            | Error msg ->
+                Printf.eprintf "campaign worker: %s\n%!" msg;
+                3
+          with e ->
+            Printf.eprintf "campaign worker: shard %d: %s\n%!" s (Printexc.to_string e);
+            3
+        in
+        (* _exit: no at_exit, no double flush of inherited buffers. *)
+        Unix._exit code
+    | pid -> Hashtbl.replace live pid s
+  in
+  (try
+     List.iter
+       (fun s ->
+         if Hashtbl.length live >= workers then reap ();
+         spawn s)
+       pending;
+     while Hashtbl.length live > 0 do
+       reap ()
+     done
+   with e ->
+     (* fork refused (e.g. a domain was already spawned in this process):
+        reap whatever did start, then report. *)
+     while Hashtbl.length live > 0 do
+       reap ()
+     done;
+     failures := (-1, Printexc.to_string e) :: !failures);
+  match List.rev !failures with
+  | [] -> Ok ()
+  | fs ->
+      Error
+        (String.concat "; "
+           (List.map
+              (fun (s, m) ->
+                if s < 0 then Printf.sprintf "campaign: fork failed: %s (run the driver with \
+                                              Parallel jobs=1, or use in-process mode)" m
+                else Printf.sprintf "campaign: shard %d failed (%s) — its checkpoint is intact; \
+                                     re-run with resume" s m)
+              fs))
+
+let report_path dir = Filename.concat dir "report.txt"
+
+(** Run (or resume) a whole campaign: plan shards, run the pending ones
+    under [exec], then merge every shard report into the campaign
+    verdict and write the canonical text report.  [job ~shard] is
+    evaluated in the worker process that runs that shard. *)
+let run ~dir ~identity ~n ~shards ?(chunk_size = Sweep.Engine.default_chunk_size)
+    ?(max_retries = 2) ?(checkpoint_every = Sweep.Engine.default_checkpoint_every) ?jobs
+    ?(resume = false) ?progress ~exec ~(job : shard:int -> job) () : (outcome, string) result =
+  match Plan.make ~n_items:n ~chunk_size ~shards with
+  | Error msg -> Error msg
+  | Ok plan -> (
+      let t0 = Unix.gettimeofday () in
+      Sweep.Oracle_cache.mkdir_p dir;
+      let all = List.init (Plan.n_shards plan) Fun.id in
+      let done_, pending =
+        if resume then List.partition (shard_done ~identity ~plan ~dir) all else ([], all)
+      in
+      let stale =
+        if resume then []
+        else List.filter (fun s -> Sys.file_exists (Report.path ~shard_dir:(Plan.shard_dir dir s))) all
+      in
+      if stale <> [] then
+        Error
+          (Printf.sprintf
+             "campaign: %s already holds shard reports (shard %d); pass resume to continue this \
+              campaign or remove the directory to start over"
+             dir (List.hd stale))
+      else begin
+        ignore done_;
+        let ran =
+          match exec with
+          | In_process ->
+              List.fold_left
+                (fun acc s ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok () -> (
+                      match
+                        run_shard ~dir ~identity ~plan ~shard:s ~max_retries ~checkpoint_every
+                          ?jobs ~resume ?progress (job ~shard:s)
+                      with
+                      | Ok _ -> Ok ()
+                      | Error msg -> Error ("campaign: " ^ msg)))
+                (Ok ()) pending
+          | Fork workers ->
+              run_forked ~dir ~identity ~plan ~max_retries ~checkpoint_every ~jobs ~resume
+                ~progress ~job ~workers:(Stdlib.max 1 workers) pending
+        in
+        match ran with
+        | Error _ as e -> e
+        | Ok () -> (
+            let reports =
+              List.map
+                (fun s -> Report.load ~path:(Report.path ~shard_dir:(Plan.shard_dir dir s)))
+                all
+            in
+            match
+              List.fold_left
+                (fun acc r ->
+                  match (acc, r) with
+                  | (Error _ as e), _ -> e
+                  | _, (Error _ as e) -> e
+                  | Ok rs, Ok r -> Ok (r :: rs))
+                (Ok []) reports
+            with
+            | Error msg -> Error ("campaign: " ^ msg)
+            | Ok rs -> (
+                match Report.merge (List.rev rs) with
+                | Error _ as e -> e
+                | Ok merged ->
+                    let rp = report_path dir in
+                    Report.write_text ~path:rp merged;
+                    Ok { plan; merged; report_path = rp; wall_seconds = Unix.gettimeofday () -. t0 }))
+      end)
+
+(** Merge-only entry point: load every shard report under [dir] for
+    [plan], merge, write the text report.  Runs nothing. *)
+let merge_only ~dir ~identity ~n ~shards ?(chunk_size = Sweep.Engine.default_chunk_size) () :
+    (outcome, string) result =
+  match Plan.make ~n_items:n ~chunk_size ~shards with
+  | Error msg -> Error msg
+  | Ok plan -> (
+      let t0 = Unix.gettimeofday () in
+      (* Missing report files simply don't make it into the list; the
+         merge's gap detection then names the missing range. *)
+      let rs =
+        List.filter_map
+          (fun s ->
+            let p = Report.path ~shard_dir:(Plan.shard_dir dir s) in
+            if Sys.file_exists p then Some (Report.load ~path:p) else None)
+          (List.init (Plan.n_shards plan) Fun.id)
+      in
+      match List.find_opt Result.is_error rs with
+      | Some (Error m) -> Error ("campaign merge: " ^ m)
+      | _ -> (
+          match Report.merge (List.filter_map Result.to_option rs) with
+          | Error _ as e -> e
+          | Ok merged ->
+              if merged.m_identity <> identity then
+                Error
+                  (Printf.sprintf
+                     "campaign merge: shard reports belong to a different campaign\n  reports:   \
+                      %s\n  requested: %s"
+                     merged.m_identity identity)
+              else begin
+                let rp = report_path dir in
+                Report.write_text ~path:rp merged;
+                Ok { plan; merged; report_path = rp; wall_seconds = Unix.gettimeofday () -. t0 }
+              end))

@@ -1,0 +1,43 @@
+(* Shard planner: cut one campaign's item space [0, n_items) into
+   contiguous per-shard ranges.
+
+   The one structural invariant that everything downstream leans on:
+   every shard boundary is a multiple of [chunk_size].  Each shard runs
+   its own Sweep.Engine over its range rebased to zero, so chunk-aligned
+   boundaries make the global chunk grid of an S-shard campaign
+   identical to a 1-shard run's — which is what lets the merged report
+   (mismatch order, quarantine ranges) come out byte-identical at every
+   shard count. *)
+
+type t = {
+  n_items : int;
+  chunk_size : int;
+  shards : (int * int) array;  (* [lo, hi) item ranges, ascending, tiling [0, n_items) *)
+}
+
+let n_shards t = Array.length t.shards
+
+(** Split [n_items] into [shards] chunk-aligned contiguous ranges of
+    near-equal chunk counts. *)
+let make ~n_items ~chunk_size ~shards : (t, string) result =
+  if n_items <= 0 then Error "campaign: empty item space"
+  else if chunk_size <= 0 then Error "campaign: chunk_size must be positive"
+  else if shards <= 0 then Error "campaign: shard count must be positive"
+  else begin
+    let nc = Sweep.Checkpoint.n_chunks ~n_items ~chunk_size in
+    if shards > nc then
+      Error
+        (Printf.sprintf
+           "campaign: %d shards over %d chunks — shard boundaries are chunk-aligned, so at most \
+            one shard per chunk (shrink --shards or --chunk)"
+           shards nc)
+    else
+      let ranges =
+        Array.init shards (fun s ->
+            let clo = s * nc / shards and chi = (s + 1) * nc / shards in
+            (clo * chunk_size, Stdlib.min n_items (chi * chunk_size)))
+      in
+      Ok { n_items; chunk_size; shards = ranges }
+  end
+
+let shard_dir dir s = Filename.concat dir (Printf.sprintf "shard-%04d" s)

@@ -1,0 +1,255 @@
+(* Per-shard campaign reports and the campaign-level merge.
+
+   A shard that finishes writes exactly one report file (atomic rename)
+   into its shard directory; the driver treats the file's existence as
+   the shard's completion record, so resume can skip finished shards
+   without trusting anything transient.  The encoding mirrors
+   Sweep.Checkpoint: magic, version, identity, payload, trailing FNV
+   checksum — a torn or foreign file is refused with a message.
+
+   All coordinates in a shard report are campaign-global (item indices
+   and pattern values), never shard-local: the merge is then pure
+   concatenation after validation, and the merged text report cannot
+   depend on how the campaign was sharded.
+
+   [merge] is deliberately paranoid: shard reports must agree on the
+   campaign identity and geometry, and their ranges must tile
+   [0, n_items) exactly — an overlap or a gap means the operator mixed
+   state directories from different plans, and a quiet "verdict" over
+   missing inputs would be a false certification. *)
+
+type t = {
+  identity : string;  (* campaign identity (no shard suffix) *)
+  n_items : int;  (* campaign-wide item count *)
+  chunk_size : int;
+  lo : int;  (* this shard's item range [lo, hi) *)
+  hi : int;
+  mismatches : Sweep.Checkpoint.mismatch array;  (* global patterns, ascending *)
+  quarantined : (int * int * string) array;  (* global item ranges [lo, hi), ascending *)
+  fast : int;  (* oracle-free certifications in this shard *)
+  escalated : int;  (* Ziv-oracle escalations in this shard *)
+  wall_seconds : float;  (* this shard's busy time (sums across shards) *)
+}
+
+let file_name = "shard-report.bin"
+let path ~shard_dir = Filename.concat shard_dir file_name
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding (same discipline as Sweep.Checkpoint).              *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "RLSHARD\x01"
+let version = 1
+
+let fnv (b : Buffer.t) =
+  let h = ref 0x0cbf29ce84222325 in
+  for i = 0 to Buffer.length b - 1 do
+    h := (!h lxor Char.code (Buffer.nth b i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+let add_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let encode t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  add_int b version;
+  add_str b t.identity;
+  add_int b t.n_items;
+  add_int b t.chunk_size;
+  add_int b t.lo;
+  add_int b t.hi;
+  add_int b (Array.length t.mismatches);
+  Array.iter
+    (fun (m : Sweep.Checkpoint.mismatch) ->
+      add_int b m.pattern;
+      add_int b m.got;
+      add_int b m.want)
+    t.mismatches;
+  add_int b (Array.length t.quarantined);
+  Array.iter
+    (fun (lo, hi, msg) ->
+      add_int b lo;
+      add_int b hi;
+      add_str b msg)
+    t.quarantined;
+  add_int b t.fast;
+  add_int b t.escalated;
+  (* Raw 64-bit float image: int-laundering would lose bit 62/63. *)
+  Buffer.add_int64_le b (Int64.bits_of_float t.wall_seconds);
+  add_int b (fnv b);
+  Buffer.contents b
+
+exception Bad of string
+
+let decode (s : string) : (t, string) result =
+  let pos = ref 0 in
+  let len = String.length s in
+  let need n what = if !pos + n > len then raise (Bad (Printf.sprintf "truncated (%s)" what)) in
+  let get_int what =
+    need 8 what;
+    let v = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let get_str what =
+    let n = get_int what in
+    if n < 0 || n > len - !pos then raise (Bad (Printf.sprintf "bad length (%s)" what));
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  try
+    need (String.length magic) "magic";
+    if String.sub s 0 (String.length magic) <> magic then
+      raise (Bad "not a shard report (bad magic)");
+    pos := String.length magic;
+    let v = get_int "version" in
+    if v <> version then
+      raise (Bad (Printf.sprintf "unsupported shard report version %d (want %d)" v version));
+    let identity = get_str "identity" in
+    let n_items = get_int "n_items" in
+    let chunk_size = get_int "chunk_size" in
+    let lo = get_int "lo" in
+    let hi = get_int "hi" in
+    if n_items <= 0 || chunk_size <= 0 then raise (Bad "non-positive geometry");
+    if lo < 0 || hi > n_items || lo >= hi then raise (Bad "bad shard range");
+    let nm = get_int "mismatch count" in
+    if nm < 0 || nm > (len - !pos) / 24 then raise (Bad "bad mismatch count");
+    let mismatches =
+      Array.init nm (fun _ ->
+          let pattern = get_int "mismatch" in
+          let got = get_int "mismatch" in
+          let want = get_int "mismatch" in
+          { Sweep.Checkpoint.pattern; got; want })
+    in
+    let nq = get_int "quarantine count" in
+    if nq < 0 || nq > (len - !pos) / 24 then raise (Bad "bad quarantine count");
+    let quarantined =
+      Array.init nq (fun _ ->
+          let qlo = get_int "quarantine" in
+          let qhi = get_int "quarantine" in
+          let msg = get_str "quarantine" in
+          (qlo, qhi, msg))
+    in
+    let fast = get_int "fast" in
+    let escalated = get_int "escalated" in
+    need 8 "wall";
+    let wall_seconds = Int64.float_of_bits (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    let body_end = !pos in
+    let sum = get_int "checksum" in
+    if !pos <> len then raise (Bad "trailing garbage");
+    let b = Buffer.create body_end in
+    Buffer.add_substring b s 0 body_end;
+    if fnv b <> sum then raise (Bad "checksum mismatch (corrupted shard report)");
+    Ok { identity; n_items; chunk_size; lo; hi; mismatches; quarantined; fast; escalated; wall_seconds }
+  with Bad msg -> Error ("shard report: " ^ msg)
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (encode t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~path : (t, string) result =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      decode s
+
+(* ------------------------------------------------------------------ *)
+(* Merge.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type merged = {
+  m_identity : string;
+  m_n_items : int;
+  m_chunk_size : int;
+  m_n_shards : int;
+  m_mismatches : Sweep.Checkpoint.mismatch array;  (* globally ascending *)
+  m_quarantined : (int * int * string) array;  (* globally ascending item ranges *)
+  m_fast : int;
+  m_escalated : int;
+  m_busy_seconds : float;  (* sum of shard wall clocks *)
+}
+
+(** Combine shard reports into one campaign verdict.  Order-insensitive;
+    refuses identity/geometry disagreement, overlaps and gaps. *)
+let merge (reports : t list) : (merged, string) result =
+  match reports with
+  | [] -> Error "campaign merge: no shard reports"
+  | first :: _ -> (
+      let sorted = List.stable_sort (fun (a : t) b -> compare (a.lo, a.hi) (b.lo, b.hi)) reports in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+      List.iter
+        (fun (r : t) ->
+          if r.identity <> first.identity then
+            fail "campaign merge: shard [%d,%d) belongs to a different campaign\n  shard:    %s\n  campaign: %s"
+              r.lo r.hi r.identity first.identity
+          else if r.n_items <> first.n_items || r.chunk_size <> first.chunk_size then
+            fail "campaign merge: shard [%d,%d) disagrees on geometry (%d items / %d per chunk, want %d / %d)"
+              r.lo r.hi r.n_items r.chunk_size first.n_items first.chunk_size)
+        sorted;
+      let cursor = ref 0 in
+      List.iter
+        (fun (r : t) ->
+          if r.lo < !cursor then fail "campaign merge: shard ranges overlap at item %d" r.lo
+          else if r.lo > !cursor then
+            fail "campaign merge: missing shard range [%d,%d)" !cursor r.lo;
+          cursor := Stdlib.max !cursor r.hi)
+        sorted;
+      if !err = None && !cursor < first.n_items then
+        fail "campaign merge: missing shard range [%d,%d)" !cursor first.n_items;
+      match !err with
+      | Some m -> Error m
+      | None ->
+          Ok
+            {
+              m_identity = first.identity;
+              m_n_items = first.n_items;
+              m_chunk_size = first.chunk_size;
+              m_n_shards = List.length sorted;
+              m_mismatches = Array.concat (List.map (fun (r : t) -> r.mismatches) sorted);
+              m_quarantined = Array.concat (List.map (fun (r : t) -> r.quarantined) sorted);
+              m_fast = List.fold_left (fun a (r : t) -> a + r.fast) 0 sorted;
+              m_escalated = List.fold_left (fun a (r : t) -> a + r.escalated) 0 sorted;
+              m_busy_seconds = List.fold_left (fun a (r : t) -> a +. r.wall_seconds) 0.0 sorted;
+            })
+
+(* Canonical campaign report text.  Deliberately free of timings, shard
+   counts and verifier counters: a campaign must reproduce this byte for
+   byte at any shard count, any worker count, fast or oracle verifier,
+   interrupted or not. *)
+let text (m : merged) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b m.m_identity;
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun (x : Sweep.Checkpoint.mismatch) ->
+      Buffer.add_string b (Printf.sprintf "mismatch 0x%x got 0x%x want 0x%x\n" x.pattern x.got x.want))
+    m.m_mismatches;
+  Array.iter
+    (fun (lo, hi, msg) ->
+      Buffer.add_string b (Printf.sprintf "quarantined [%d,%d): %s\n" lo hi msg))
+    m.m_quarantined;
+  Buffer.add_string b
+    (Printf.sprintf "total %d mismatches, %d quarantined ranges over %d points\n"
+       (Array.length m.m_mismatches) (Array.length m.m_quarantined) m.m_n_items);
+  Buffer.contents b
+
+let write_text ~path (m : merged) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (text m);
+  close_out oc;
+  Sys.rename tmp path

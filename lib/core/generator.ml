@@ -15,6 +15,10 @@ module T_intf = Fp.Representation
 type generated = {
   spec : Spec.t;
   pieces : Piecewise.t array;  (* one per component *)
+  intervals : (int64, Reduced.constr) Hashtbl.t array;
+      (* per component: Fp64.bits of the reduced input -> the merged
+         (intersected over every enumerated pattern sharing it) reduced
+         rounding interval.  The oracle-free verifier's certificate. *)
   stats : Stats.t;
 }
 
@@ -371,6 +375,7 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
             {
               spec;
               pieces;
+              intervals = merged;
               stats =
                 {
                   Stats.name = spec.name;

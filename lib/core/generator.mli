@@ -10,6 +10,12 @@
 type generated = {
   spec : Spec.t;
   pieces : Piecewise.t array;  (** one piecewise polynomial per component *)
+  intervals : (int64, Reduced.constr) Hashtbl.t array;
+      (** per component: [Fp.Fp64.bits] of the reduced input -> the
+          reduced rounding interval intersected over every enumerated
+          pattern sharing that reduced input.  This is the certificate
+          the oracle-free verifier ({!Verifier}) replays at sweep time;
+          treat it as read-only. *)
   stats : Stats.t;
 }
 

@@ -118,11 +118,68 @@ let pp fmt t =
 
 (* One progress line of a checkpointed sweep job ({!Sweep.Engine}):
    chunk completion (with how much came from the resumed checkpoint),
-   fault counters, oracle-cache traffic and the ETA at the observed
-   chunk rate. *)
+   fault counters, oracle-cache traffic, verifier fast-path traffic, and
+   the chunk rate + ETA.  Rate and ETA are computed by the engine over
+   chunks finished *this run* only — a resume that restores most of its
+   chunks from the checkpoint says nothing about how fast the pending
+   ones will go, so restored chunks must not inflate the rate. *)
 let pp_sweep fmt (p : Sweep.Engine.progress) =
   Format.fprintf fmt
-    "  sweep %d/%d chunks (%d restored, %d retries, %d quarantined), cache %d hit / %d miss, \
-     %.1fs elapsed, eta %.0fs@."
+    "  sweep %d/%d chunks (%d restored, %d retries, %d quarantined), cache %d hit / %d miss%s, \
+     %.1fs elapsed, %.1f chunks/s pending-rate, eta %.0fs@."
     p.Sweep.Engine.completed_chunks p.total_chunks p.restored_chunks p.retry_attempts
-    p.quarantined_chunks p.cache_hits p.cache_misses p.wall_seconds p.eta_seconds
+    p.quarantined_chunks p.cache_hits p.cache_misses
+    (if p.fast_path + p.escalations > 0 then
+       Printf.sprintf ", verifier %d fast / %d escalated" p.fast_path p.escalations
+     else "")
+    p.wall_seconds p.chunk_rate p.eta_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-level statistics (lib/campaign merges; plain data here so   *)
+(* bin/check and bench can render them without a dune dependency from   *)
+(* rlibm onto campaign).                                                *)
+(* ------------------------------------------------------------------ *)
+
+type campaign = {
+  c_items : int;  (* items verified across all shards *)
+  c_shards : int;
+  c_busy_seconds : float;  (* sum of shard wall clocks (CPU-ish budget) *)
+  c_wall_seconds : float;  (* driver wall clock of this invocation *)
+  c_fast : int;  (* oracle-free certifications *)
+  c_escalated : int;  (* Ziv-oracle escalations *)
+  c_mismatches : int;
+  c_quarantined : int;
+}
+
+(* Aggregate worker throughput: items per second of shard busy time.
+   With W workers running concurrently the wall clock divides by ~W,
+   which is exactly what {!campaign_projected_seconds} assumes. *)
+let campaign_inputs_per_second c =
+  if c.c_busy_seconds > 0.0 then float_of_int c.c_items /. c.c_busy_seconds else 0.0
+
+(* Fast-path share of all verifier verdicts; 100 when no verdict was
+   counted (nothing escalated because nothing ran). *)
+let campaign_fast_pct c =
+  let t = c.c_fast + c.c_escalated in
+  if t = 0 then 100.0 else 100.0 *. float_of_int c.c_fast /. float_of_int t
+
+(* Projected wall clock for an [n_items] campaign at [workers]
+   single-threaded workers, extrapolating the observed per-worker item
+   rate.  The 2^32 planning number in EXPERIMENTS.md comes from here. *)
+let campaign_projected_seconds c ~n_items ~workers =
+  let rate = campaign_inputs_per_second c in
+  if rate > 0.0 && workers > 0 then
+    float_of_int n_items /. (rate *. float_of_int workers)
+  else infinity
+
+let pp_campaign fmt c =
+  Format.fprintf fmt
+    "  campaign %d items over %d shards: %.0f items/s, %.2f%% fast-path (%d fast / %d escalated), \
+     %d mismatches, %d quarantined ranges, %.1fs busy / %.1fs wall@."
+    c.c_items c.c_shards (campaign_inputs_per_second c) (campaign_fast_pct c) c.c_fast
+    c.c_escalated c.c_mismatches c.c_quarantined c.c_busy_seconds c.c_wall_seconds;
+  Format.fprintf fmt
+    "  projected full float32 (2^32 points): %.1fh at 1 worker, %.1fh at 8, %.1fh at 32@."
+    (campaign_projected_seconds c ~n_items:(1 lsl 32) ~workers:1 /. 3600.0)
+    (campaign_projected_seconds c ~n_items:(1 lsl 32) ~workers:8 /. 3600.0)
+    (campaign_projected_seconds c ~n_items:(1 lsl 32) ~workers:32 /. 3600.0)

@@ -1,0 +1,121 @@
+(* The RLIBM side of the oracle-free fast verifier (Sweep.Verify).
+
+   Soundness of the certificate.  For every enumerated non-special
+   pattern the generator derived a reduced rounding interval per
+   component (Algorithm 2) and [Generator.generate] retained their
+   per-reduced-input intersections in [g.intervals].  By construction,
+   if each component value v_i lies in the intersected interval for the
+   pattern's reduced input, then for *every enumerated pattern sharing
+   that reduced input* the output compensation of (v_0..v_{k-1}) lands
+   inside that pattern's own rounding interval — i.e. rounds correctly.
+   So re-evaluating the compiled polynomial at sweep time and checking
+   interval membership certifies the result with a few float compares,
+   no Ziv loop.
+
+   The certificate says nothing about patterns that were NOT enumerated:
+   a sampled generation's intervals were never intersected against the
+   skipped patterns' constraints.  Hence {!certifiable} demands an
+   exhaustive enumeration (every pattern of the representation), and
+   the [`Auto] policy silently degrades to oracle-only otherwise.
+   A certificate miss (reduced input absent from the table, or a value
+   on/outside a boundary whose openness the intersection tightened) is
+   *not* a verdict — it escalates to the oracle per Sweep.Verify's
+   contract. *)
+
+module G = Generator
+
+let in_constr (c : Reduced.constr) v =
+  (if c.lo_open then c.lo < v else c.lo <= v)
+  && if c.hi_open then v < c.hi else v <= c.hi
+
+(* The certificate covers exactly the enumerated patterns, so it proves
+   all inputs only if all inputs were enumerated. *)
+let certifiable (g : G.generated) =
+  let module T = (val g.spec.repr : Fp.Representation.S) in
+  g.stats.n_inputs = 1 lsl T.bits
+
+(** [classify g] is the run-time path plus the certificate: pattern ->
+    (library result, certified).  Mirrors [Generator.compile]'s
+    operation order exactly, so the returned result is bit-identical to
+    the library's. *)
+let classify (g : G.generated) =
+  let module T = (val g.spec.repr : Fp.Representation.S) in
+  let special = g.spec.special in
+  let reduce = g.spec.reduce in
+  let compensate = g.spec.compensate in
+  let mode = g.spec.mode in
+  let evals = Array.map Piecewise.compile g.pieces in
+  let tables = g.intervals in
+  let n = Array.length evals in
+  let scratch = Domain.DLS.new_key (fun () -> Array.make (Stdlib.max n 1) 0.0) in
+  fun pat ->
+    match special pat with
+    | Some out -> (out, true)  (* special-case analysis is the ground truth *)
+    | None ->
+        let v = Domain.DLS.get scratch in
+        let rr = reduce (T.to_double pat) in
+        let key = Fp.Fp64.bits rr.r in
+        let certified = ref true in
+        for i = 0 to n - 1 do
+          let vi = evals.(i) rr.r in
+          v.(i) <- vi;
+          if !certified then
+            match Hashtbl.find_opt tables.(i) key with
+            | Some c when in_constr c vi -> ()
+            | Some _ | None -> certified := false
+        done;
+        (T.of_double ~mode (compensate rr v), !certified)
+
+(** Ground truth for one pattern: special-case analysis, else Ziv's
+    arbitrary-precision oracle (memoized through [cache] if given). *)
+let truth ?cache (g : G.generated) =
+  let module T = (val g.spec.repr : Fp.Representation.S) in
+  let spec = g.spec in
+  fun pat ->
+    match spec.special pat with
+    | Some y -> y
+    | None ->
+        Sweep.Oracle_cache.memo cache pat (fun pat ->
+            Oracle.Elementary.correctly_rounded
+              ~round:(T.round_rational ~mode:spec.mode)
+              spec.oracle (T.to_rational pat))
+
+type policy = [ `Auto | `Fast | `Oracle ]
+
+let policy_of_string = function
+  | "auto" -> Ok `Auto
+  | "fast" -> Ok `Fast
+  | "oracle" -> Ok `Oracle
+  | s -> Error (Printf.sprintf "unknown verifier %S (want auto/fast/oracle)" s)
+
+(** Build the sweep verifier for a generated function under [policy]:
+    [`Fast] uses the certificate (escalating per [on_escalate]),
+    [`Oracle] never certifies (every pattern goes to the oracle — the
+    classic sweep, restated), and [`Auto] picks fast exactly when the
+    generation is exhaustive, the only case the certificate is sound.
+    @raise Invalid_argument on [`Fast] over a non-exhaustive generation. *)
+let make ?counters ?on_escalate ?cache ~(policy : policy) (g : G.generated) =
+  let fast =
+    match policy with
+    | `Fast ->
+        if not (certifiable g) then
+          invalid_arg
+            (Printf.sprintf
+               "Verifier.make: %s/%s was generated from %d of %d patterns; the fast certificate \
+                is only sound over an exhaustive enumeration"
+               g.stats.repr_name g.spec.name g.stats.n_inputs
+               (let module T = (val g.spec.repr : Fp.Representation.S) in
+                1 lsl T.bits));
+        true
+    | `Oracle -> false
+    | `Auto -> certifiable g
+  in
+  let classify =
+    if fast then classify g
+    else begin
+      let compiled = G.compile g in
+      fun pat -> (compiled pat, false)
+    end
+  in
+  Sweep.Verify.make ?counters ?on_escalate ~classify ~oracle:(truth ?cache g)
+    ~equal:(G.patterns_value_equal g.spec.repr) ()

@@ -27,8 +27,12 @@ type progress = {
   retry_attempts : int;  (* failed attempts observed during this run *)
   cache_hits : int;  (* from the attached oracle cache; 0 without one *)
   cache_misses : int;
+  fast_path : int;  (* oracle-free certifications from the attached verifier *)
+  escalations : int;  (* verifier verdicts that needed the Ziv oracle *)
   wall_seconds : float;  (* this run only *)
-  eta_seconds : float;  (* remaining work at the observed chunk rate *)
+  chunk_rate : float;  (* chunks/s over work done THIS run; restored chunks
+                          cost this run nothing and must not inflate it *)
+  eta_seconds : float;  (* remaining work at [chunk_rate] *)
 }
 
 type outcome = {
@@ -66,7 +70,7 @@ let quarantine_list (cp : C.t) =
     an error — starting over is an explicit decision (delete the
     directory), never an accident. *)
 let run ~dir ~identity ~n ?(chunk_size = default_chunk_size) ?(max_retries = 2)
-    ?(checkpoint_every = default_checkpoint_every) ?jobs ?(resume = false) ?cache
+    ?(checkpoint_every = default_checkpoint_every) ?jobs ?(resume = false) ?cache ?verify
     ?(progress : (progress -> unit) option) (f : lo:int -> hi:int -> C.mismatch list) :
     (outcome, string) result =
   if n <= 0 then Error "sweep: empty item space"
@@ -117,11 +121,14 @@ let run ~dir ~identity ~n ?(chunk_size = default_chunk_size) ?(max_retries = 2)
           let wall = Unix.gettimeofday () -. t0 in
           let completed = restored + !done_this_run in
           let remaining = nc - completed - C.quarantined cp in
-          let eta =
-            if !done_this_run > 0 && remaining > 0 then
-              wall /. float_of_int !done_this_run *. float_of_int remaining
+          (* ETA basis: chunks finished *this run* over this run's wall
+             clock.  A resumed run restoring 90% of its chunks in an
+             instant has not demonstrated a 10x chunk rate. *)
+          let rate =
+            if !done_this_run > 0 && wall > 0.0 then float_of_int !done_this_run /. wall
             else 0.0
           in
+          let eta = if rate > 0.0 && remaining > 0 then float_of_int remaining /. rate else 0.0 in
           {
             total_chunks = nc;
             completed_chunks = completed;
@@ -130,7 +137,10 @@ let run ~dir ~identity ~n ?(chunk_size = default_chunk_size) ?(max_retries = 2)
             retry_attempts = !retry_attempts;
             cache_hits = (match cache with Some c -> Oracle_cache.hits c | None -> 0);
             cache_misses = (match cache with Some c -> Oracle_cache.misses c | None -> 0);
+            fast_path = (match verify with Some v -> Verify.fast v | None -> 0);
+            escalations = (match verify with Some v -> Verify.escalated v | None -> 0);
             wall_seconds = wall;
+            chunk_rate = rate;
             eta_seconds = eta;
           }
         in

@@ -1,0 +1,94 @@
+(* Oracle-free fast verification with Ziv-oracle escalation.
+
+   A full-range sweep spends essentially all of its time in the
+   arbitrary-precision oracle, yet for a table generated from an
+   exhaustive enumeration the generator has already *proved* a
+   per-reduced-input certificate: if the polynomial value lands inside
+   the stored rounding-interval box, output compensation lands inside
+   the input's rounding interval, so the rounded result is correct — no
+   oracle needed.  This module packages that contract for the sweep and
+   campaign engines without knowing anything about polynomials:
+
+   - [classify pat] is the target-library evaluation plus the
+     certificate check: it returns the library's result for [pat] and
+     whether the oracle-free certificate holds;
+   - on a certificate miss the verifier *escalates*: it asks the Ziv
+     oracle for the true result and compares, exactly like a classic
+     oracle sweep would.  A fast verifier may only ever be faster than
+     the oracle sweep — never answer differently.
+
+   Escalation policy: [`Oracle] (the default) runs the oracle on every
+   uncertified pattern; [`Fail] raises {!Unverified} instead, for
+   strictly oracle-free runs where an uncertifiable input is a fault the
+   engine must quarantine, not silently re-derive.  The exception names
+   the pattern so the quarantine record identifies the input.
+
+   Counters are atomic: the engine's worker domains all bump the same
+   pair, and the checkpoint-time progress rows report the fast-path
+   fraction of the verdicts completed so far. *)
+
+type counters = { fast : int Atomic.t; escalated : int Atomic.t }
+
+let counters () = { fast = Atomic.make 0; escalated = Atomic.make 0 }
+let fast c = Atomic.get c.fast
+let escalated c = Atomic.get c.escalated
+let checked c = fast c + escalated c
+
+(* Fast-path percentage of the verdicts completed so far; 100 when
+   nothing has been checked yet (an empty run touched no oracle). *)
+let fast_pct c =
+  let f = fast c and e = escalated c in
+  if f + e = 0 then 100.0 else 100.0 *. float_of_int f /. float_of_int (f + e)
+
+exception Unverified of int
+
+let () =
+  Printexc.register_printer (function
+    | Unverified pat ->
+        Some
+          (Printf.sprintf
+             "Sweep.Verify.Unverified(pattern %#x): certificate miss and oracle escalation \
+              disabled"
+             pat)
+    | _ -> None)
+
+type t = {
+  classify : int -> int * bool;  (* pattern -> (library result, certified) *)
+  oracle : int -> int;  (* pattern -> correctly rounded result (Ziv) *)
+  equal : int -> int -> bool;  (* pattern value equality of the target *)
+  on_escalate : [ `Oracle | `Fail ];
+  c : counters;
+}
+
+let make ?(counters = counters ()) ?(on_escalate = `Oracle) ~classify ~oracle ~equal () =
+  { classify; oracle; equal; on_escalate; c = counters }
+
+let stats v = v.c
+
+(** Verdict for one pattern: [None] = correct (certified oracle-free, or
+    escalated and agreeing), [Some m] = the library result disagrees
+    with the oracle.
+    @raise Unverified on a certificate miss under [`Fail]. *)
+let check v pat =
+  let got, certified = v.classify pat in
+  if certified then begin
+    Atomic.incr v.c.fast;
+    None
+  end
+  else
+    match v.on_escalate with
+    | `Fail -> raise (Unverified pat)
+    | `Oracle ->
+        Atomic.incr v.c.escalated;
+        let want = v.oracle pat in
+        if v.equal got want then None else Some { Checkpoint.pattern = pat; got; want }
+
+(** Engine-ready chunk function: verify items [lo, hi), item [i]
+    denoting pattern [i * stride], mismatches returned in pattern
+    order. *)
+let sweep_fn v ?(stride = 1) () ~lo ~hi =
+  let acc = ref [] in
+  for i = hi - 1 downto lo do
+    match check v (i * stride) with Some m -> acc := m :: !acc | None -> ()
+  done;
+  !acc

@@ -41,11 +41,27 @@ let test_direction () =
     (Benchgate.direction_of "gen.float32_log2_s" = Benchgate.Lower_better);
   Alcotest.(check bool) "speedup is higher-better" true
     (Benchgate.direction_of "lp.warm_grow_speedup" = Benchgate.Higher_better);
+  Alcotest.(check bool) "throughput is higher-better" true
+    (Benchgate.direction_of "campaign.inputs_per_sec" = Benchgate.Higher_better);
+  Alcotest.(check bool) "percentage is higher-better" true
+    (Benchgate.direction_of "campaign.fast_path_pct" = Benchgate.Higher_better);
+  Alcotest.(check bool) "campaign time is lower-better" true
+    (Benchgate.direction_of "campaign.bf16_log2_fast_s" = Benchgate.Lower_better);
   Alcotest.(check bool) "gen is gated" true (Benchgate.gated "gen.float32_log2_s");
   Alcotest.(check bool) "lp is gated" true (Benchgate.gated "lp.dense_solve_ns");
   Alcotest.(check bool) "round is gated" true (Benchgate.gated "round.interval_bf16_odd_ns");
   Alcotest.(check bool) "sweep is gated" true (Benchgate.gated "sweep.bf16_log2_cold_s");
+  Alcotest.(check bool) "campaign is gated" true (Benchgate.gated "campaign.inputs_per_sec");
   Alcotest.(check bool) "bigint is not gated" false (Benchgate.gated "bigint.mul.speedup")
+
+(* A fast-path share or report-agreement percentage that *drops* is a
+   regression even though it is not a time: 100% -> 70% oracle-free
+   means the certificate table stopped covering the input space. *)
+let test_pct_drop_regresses () =
+  let base = [ ("campaign.fast_path_pct", 100.0) ] in
+  let curr = [ ("campaign.fast_path_pct", 70.0) ] in
+  let vs = Benchgate.compare_metrics ~threshold:0.25 base curr in
+  Alcotest.(check bool) "fast-path collapse trips the gate" true (Benchgate.any_regression vs)
 
 (* The acceptance scenario: a synthetic >25% wall-clock regression in a
    gen.* metric must trip the gate. *)
@@ -160,6 +176,7 @@ let () =
           Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
           Alcotest.test_case "direction + gating" `Quick test_direction;
+          Alcotest.test_case "fast-path pct drop regresses" `Quick test_pct_drop_regresses;
           Alcotest.test_case "flags >25% gen regression" `Quick test_flags_gen_regression;
           Alcotest.test_case "flags lp speedup drop" `Quick test_flags_lp_speedup_drop;
           Alcotest.test_case "within threshold passes" `Quick test_within_threshold_ok;

@@ -334,6 +334,140 @@ let test_kill_and_resume () =
           rm_rf dir)
     dirs
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial fast-verifier case: a rounding-interval table entry      *)
+(* corrupted by one ulp.  Guards against a verifier that "passes" by    *)
+(* never disagreeing — the corruption must surface as a certificate     *)
+(* miss (escalation), and in strict no-oracle mode as a quarantine      *)
+(* record naming the input.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupted_table_entry_flagged () =
+  let t = Funcs.Specs.bfloat16 in
+  let g = Funcs.Libm.get ~quality:Funcs.Libm.Quick t "log2" in
+  let module G = Rlibm.Generator in
+  let module T = (val g.G.spec.repr) in
+  (* A non-special pattern to frame. *)
+  let pat =
+    let rec find p =
+      if p >= 1 lsl T.bits then Alcotest.fail "no non-special pattern"
+      else if g.G.spec.special p = None then p
+      else find (p + 1)
+    in
+    find 0
+  in
+  let rr = g.G.spec.reduce (T.to_double pat) in
+  let key = Fp.Fp64.bits rr.Rlibm.Spec.r in
+  (* Corrupt a private copy of the table: pull the interval's upper
+     bound one ulp below the polynomial's actual value there, so the
+     certificate cannot hold at [pat]. *)
+  let v0 = Rlibm.Piecewise.eval g.G.pieces.(0) rr.Rlibm.Spec.r in
+  let intervals = Array.map Hashtbl.copy g.G.intervals in
+  (match Hashtbl.find_opt intervals.(0) key with
+  | None -> Alcotest.fail "reduced input missing from the interval table"
+  | Some c ->
+      Hashtbl.replace intervals.(0) key
+        { c with Rlibm.Reduced.hi = Fp.Fp64.advance v0 (-1); hi_open = false });
+  let bad = { g with G.intervals } in
+  (* Escalation mode: the miss goes to the oracle, which (the library
+     being correct) agrees — so the verdict is clean but the escalation
+     counter proves the corruption was caught, not skipped. *)
+  let counters = Sweep.Verify.counters () in
+  let v_esc = Rlibm.Verifier.make ~counters ~policy:`Fast bad in
+  Alcotest.(check bool) "escalated verdict is clean" true (Sweep.Verify.check v_esc pat = None);
+  Alcotest.(check int) "corruption forced an oracle escalation" 1
+    (Sweep.Verify.escalated counters);
+  (* Sanity: the uncorrupted table certifies the same pattern fast. *)
+  let counters_ok = Sweep.Verify.counters () in
+  let v_ok = Rlibm.Verifier.make ~counters:counters_ok ~policy:`Fast g in
+  Alcotest.(check bool) "uncorrupted verdict is clean" true (Sweep.Verify.check v_ok pat = None);
+  Alcotest.(check int) "uncorrupted table certifies oracle-free" 1
+    (Sweep.Verify.fast counters_ok);
+  (* Strict no-oracle mode through the engine: the chunk holding the
+     corrupted input is quarantined and the record names the input. *)
+  let v_fail = Rlibm.Verifier.make ~policy:`Fast ~on_escalate:`Fail bad in
+  let dir = fresh_dir "adversarial" in
+  (* One-item job framing exactly the corrupted input. *)
+  let f ~lo:_ ~hi:_ =
+    match Sweep.Verify.check v_fail pat with Some m -> [ m ] | None -> []
+  in
+  (match
+     E.run ~dir ~identity:"adversarial" ~n:1 ~chunk_size:1 ~max_retries:0 ~checkpoint_every:1
+       ~jobs:1 f
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok o -> (
+      match o.E.quarantined with
+      | [ (ci, _, _, err) ] ->
+          Alcotest.(check int) "the chunk holding the input" 0 ci;
+          let hex = Printf.sprintf "%#x" pat in
+          let contains sub s =
+            let n = String.length sub and m = String.length s in
+            let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "quarantine names the input %s: %s" hex err)
+            true (contains hex err)
+      | q -> Alcotest.failf "expected exactly one quarantined chunk, got %d" (List.length q)));
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Resume ETA basis: throughput and ETA must come from chunks finished  *)
+(* THIS run — a resume that restores most of the work from the          *)
+(* checkpoint has demonstrated nothing about how fast the pending       *)
+(* chunks will go, so restored chunks must not inflate the rate.        *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_eta_pending_only () =
+  let identity = "eta basis" in
+  let n = 640 and chunk_size = 32 in
+  let dir = fresh_dir "eta" in
+  OC.mkdir_p dir;
+  (* A checkpoint with 15 of 20 chunks already done: the resume inherits
+     75% of the campaign for free. *)
+  let cp = C.create ~identity ~n_items:n ~chunk_size in
+  for i = 0 to 14 do
+    cp.C.state.(i) <- C.Done
+  done;
+  C.save ~path:(Filename.concat dir "checkpoint.bin") cp;
+  let rows = ref [] in
+  let slow ~lo ~hi =
+    Unix.sleepf 0.02;
+    synth ~lo ~hi
+  in
+  (match
+     E.run ~dir ~identity ~n ~chunk_size ~checkpoint_every:1 ~jobs:1 ~resume:true
+       ~progress:(fun p -> rows := p :: !rows)
+       slow
+   with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ -> ());
+  let informative =
+    List.filter
+      (fun (p : E.progress) -> p.completed_chunks > p.restored_chunks && p.wall_seconds > 0.0)
+      !rows
+  in
+  Alcotest.(check bool) "captured post-restore progress rows" true (informative <> []);
+  List.iter
+    (fun (p : E.progress) ->
+      let done_this_run = p.completed_chunks - p.restored_chunks in
+      (* The advertised rate counts exactly this run's chunks... *)
+      Alcotest.(check bool) "rate counts pending-chunk work only" true
+        (abs_float ((p.chunk_rate *. p.wall_seconds) -. float_of_int done_this_run) < 1e-6);
+      (* ...the ETA derives from that rate... *)
+      let remaining = p.total_chunks - p.completed_chunks - p.quarantined_chunks in
+      if remaining > 0 && p.chunk_rate > 0.0 then
+        Alcotest.(check bool) "eta = remaining / pending rate" true
+          (abs_float (p.eta_seconds -. (float_of_int remaining /. p.chunk_rate)) < 1e-6);
+      (* ...and is strictly below the misleading restored-inflated rate
+         the old report implied. *)
+      if p.restored_chunks > 0 && p.chunk_rate > 0.0 then
+        Alcotest.(check bool) "restored chunks do not inflate the rate" true
+          (p.chunk_rate < float_of_int p.completed_chunks /. p.wall_seconds))
+    informative;
+  rm_rf dir
+
 let () =
   Alcotest.run "sweep"
     [
@@ -364,5 +498,12 @@ let () =
             test_engine_retries_then_succeeds;
           Alcotest.test_case "quarantines persistent failures" `Quick
             test_engine_quarantines_persistent_failure;
+          Alcotest.test_case "resume ETA uses pending-chunk throughput only" `Quick
+            test_resume_eta_pending_only;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "one-ulp table corruption is flagged and quarantined" `Quick
+            test_corrupted_table_entry_flagged;
         ] );
     ]
