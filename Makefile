@@ -28,7 +28,7 @@ bench: build
 	dune exec bench/main.exe
 
 bench-json: build
-	dune exec bench/main.exe -- --json bigint rational lp gen round sweep campaign
+	dune exec bench/main.exe -- --json bigint rational lp gen round sweep campaign serve
 
 clean:
 	dune clean

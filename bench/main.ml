@@ -963,6 +963,53 @@ let campaign_section () =
       | _ -> ());
       rm_rf root
 
+(* ------------------------------------------------------------------ *)
+(* SERVE: the zero-allocation serving path (lib/serve).                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_section () =
+  pr_header "SERVE: zero-allocation kernel pipeline (float32 log2, uniform mix, 65536-call batches)";
+  let t = Funcs.Specs.float32 in
+  match Funcs.Libm.get ~quality t "log2" with
+  | exception Failure msg -> Printf.printf "skipped (%s)\n" msg
+  | g -> (
+      match Funcs.Kernels.of_generated g with
+      | None -> Printf.printf "skipped (no serving kernel for float32 log2)\n"
+      | Some p ->
+          let n = 65536 in
+          let src = Serve.Workload.gen p ~mix:Serve.Workload.Uniform ~seed:2024 ~n in
+          Printf.printf "%6s %14s %10s %10s\n" "jobs" "calls/s" "p50_ns" "p99_ns";
+          List.iter
+            (fun jobs ->
+              let slo = Serve.Run.measure ~jobs p src ~batches:32 in
+              Printf.printf "%6d %14.0f %10.1f %10.1f\n%!" jobs slo.Serve.Run.calls_per_sec
+                slo.Serve.Run.p50_ns slo.Serve.Run.p99_ns;
+              let key part = Printf.sprintf "serve.f32_log2_uniform_%s_j%d" part jobs in
+              record (key "calls_per_sec") slo.Serve.Run.calls_per_sec;
+              record (key "p50_ns") slo.Serve.Run.p50_ns;
+              record (key "p99_ns") slo.Serve.Run.p99_ns)
+            [ 1; 2; 4 ];
+          (* The headline claim: the kernel doubles pipeline vs the old
+             boxed closure chain (kept as Batch.eval_doubles_boxed), same
+             inputs, same sharding defaults. *)
+          let srcd = Array.map (fun pat -> Serve.Kernel.to_double p pat) src in
+          let dst = Array.make n 0.0 in
+          let time_batches f =
+            f ();
+            (* warmed: tables pinned, closures built *)
+            let batches = 16 in
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to batches do
+              f ()
+            done;
+            float_of_int (n * batches) /. (Unix.gettimeofday () -. t0)
+          in
+          let boxed = time_batches (fun () -> Funcs.Batch.eval_doubles_boxed g srcd dst) in
+          let kern = time_batches (fun () -> Serve.Run.doubles p srcd dst) in
+          Printf.printf "doubles pipeline: boxed %.0f calls/s, kernel %.0f calls/s (%.2fx)\n%!" boxed
+            kern (kern /. boxed);
+          record "serve.f32_log2_uniform_vs_boxed_speedup" (kern /. boxed))
+
 let write_json () =
   let rev =
     try
@@ -978,6 +1025,11 @@ let write_json () =
   Printf.fprintf oc "{\n  \"rev\": %S,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
     rev (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
     tm.Unix.tm_min tm.Unix.tm_sec;
+  (* Machine context: numbers from two different machines (or job
+     counts) are not comparable, so the gate prints these header fields
+     alongside its verdicts (Benchgate.parse_header). *)
+  Printf.fprintf oc "  \"jobs\": %d,\n  \"cpus\": %d,\n  \"ocaml\": %S,\n" (Parallel.jobs ())
+    (Domain.recommended_domain_count ()) Sys.ocaml_version;
   Printf.fprintf oc "  \"metrics\": {\n";
   let entries = List.rev !metrics in
   List.iteri
@@ -1012,4 +1064,5 @@ let () =
   if want "round" then round_section ();
   if want "sweep" then sweep_section ();
   if want "campaign" then campaign_section ();
+  if want "serve" then serve_section ();
   if json then write_json ()

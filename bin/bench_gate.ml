@@ -34,6 +34,18 @@ let run baseline current threshold =
             exit 0)
   in
   Format.printf "bench-gate: %s (baseline) vs %s (current)@." baseline current;
+  (* Machine context (rev, date, jobs, cpus, ocaml) is printed, never
+     gated: runs from different machines are still comparable if the
+     operator says so, but the mismatch should be visible in the log. *)
+  let show_header tag path =
+    match Benchgate.parse_header_file path with
+    | exception _ -> ()
+    | fields ->
+        Format.printf "  %-8s %s@." tag
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) fields))
+  in
+  show_header "baseline" baseline;
+  show_header "current" current;
   match (Benchgate.parse_file baseline, Benchgate.parse_file current) with
   | exception Sys_error msg ->
       Format.eprintf "bench-gate: %s@." msg;

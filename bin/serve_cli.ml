@@ -1,0 +1,113 @@
+(* Serving-path driver: replay a seeded workload mix through the
+   zero-allocation kernel pipeline (lib/serve) and report throughput and
+   per-call latency percentiles — the SLO view of the library the
+   paper's §4.3 batch harness measures as calls/sec.
+
+   Exit status: 0 on success, 1 if --check finds a kernel/scalar
+   mismatch, 2 if the (target, function) pair has no serving kernel
+   (posits, non-standard term shapes). *)
+
+module K = Serve.Kernel
+module R = Serve.Run
+module W = Serve.Workload
+
+let target_of_name = function
+  | "float32" -> Some Funcs.Specs.float32
+  | "bfloat16" -> Some Funcs.Specs.bfloat16
+  | "float16" -> Some Funcs.Specs.float16
+  | "float34" -> Some Funcs.Specs.float34
+  | "bfloat18" -> Some Funcs.Specs.bfloat18
+  | "float18" -> Some Funcs.Specs.float18
+  | _ -> None
+
+let quality_of_name = function
+  | "draft" -> Some Funcs.Libm.Draft
+  | "quick" -> Some Funcs.Libm.Quick
+  | "full" -> Some Funcs.Libm.Full
+  | _ -> None
+
+let run jobs tname fname mname mixname n batches seed check qname =
+  (match jobs with Some j -> Parallel.set_jobs j | None -> ());
+  let die2 msg =
+    prerr_endline msg;
+    exit 2
+  in
+  let base =
+    match target_of_name tname with
+    | Some t -> t
+    | None -> die2 (Printf.sprintf "serve: no serving kernel for target %s" tname)
+  in
+  let mode =
+    match Fp.Rounding_mode.of_string mname with
+    | Some m -> m
+    | None -> die2 (Printf.sprintf "serve: unknown rounding mode %s" mname)
+  in
+  let mix =
+    match W.mix_of_string mixname with
+    | Some m -> m
+    | None -> die2 (Printf.sprintf "serve: unknown mix %s (uniform|hardcase|subnormal)" mixname)
+  in
+  let quality =
+    match quality_of_name qname with
+    | Some q -> q
+    | None -> die2 (Printf.sprintf "serve: unknown quality %s (draft|quick|full)" qname)
+  in
+  let t = if base.Funcs.Specs.mode = mode then base else Funcs.Specs.with_mode base mode in
+  let p =
+    match Funcs.Kernels.plan_opt ~quality t fname with
+    | Some p -> p
+    | None -> die2 (Printf.sprintf "serve: no serving kernel for %s on %s" fname tname)
+  in
+  let src = W.gen p ~mix ~seed ~n in
+  Printf.printf "serve: %s %s @%s, %s mix, n=%d batches=%d seed=%d jobs=%s\n" tname fname
+    (Fp.Rounding_mode.to_string mode)
+    (W.mix_to_string mix) n batches seed
+    (match jobs with Some j -> string_of_int j | None -> "auto");
+  let slo = R.measure ?jobs p src ~batches in
+  Printf.printf "calls_per_sec: %.0f\n" slo.R.calls_per_sec;
+  Printf.printf "p50_ns: %.1f\n" slo.R.p50_ns;
+  Printf.printf "p99_ns: %.1f\n" slo.R.p99_ns;
+  if check then begin
+    match R.verify p src with
+    | None -> Printf.printf "bit-identity: ok (%d patterns, kernel = scalar)\n" n
+    | Some pat ->
+        Printf.printf "bit-identity: FAIL at pattern %0*x\n" ((p.K.width + 3) / 4) pat;
+        exit 1
+  end
+
+open Cmdliner
+
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~doc:"Worker domains (default: RLIBM_JOBS or the runtime's recommendation).")
+
+let tname = Arg.(value & opt string "bfloat16" & info [ "t"; "target" ] ~doc:"Target type.")
+let fname = Arg.(value & opt string "log2" & info [ "f"; "function" ] ~doc:"Function name.")
+
+let mname =
+  Arg.(value & opt string "rne" & info [ "m"; "mode" ] ~doc:"Rounding mode (rne|rna|up|down|zero).")
+
+let mixname =
+  Arg.(value & opt string "uniform"
+       & info [ "mix" ] ~doc:"Workload mix: uniform (fast-path), hardcase (special/edge heavy), subnormal.")
+
+let n = Arg.(value & opt int 65536 & info [ "n" ] ~doc:"Calls per batch (the serving unit).")
+let batches = Arg.(value & opt int 64 & info [ "batches" ] ~doc:"Batches to replay (after one warm-up).")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload generator seed.")
+
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"After measuring, verify the kernel is bit-identical to the scalar path on every \
+                 workload pattern; exit 1 on mismatch.")
+
+let qname =
+  Arg.(value & opt string "full" & info [ "quality" ] ~doc:"Generation quality (draft|quick|full).")
+
+let () =
+  let cmd =
+    Cmd.v
+      (Cmd.info "serve_cli" ~doc:"Replay workload mixes through the zero-allocation serving kernels")
+      Term.(const run $ jobs $ tname $ fname $ mname $ mixname $ n $ batches $ seed $ check $ qname)
+  in
+  exit (Cmd.eval cmd)

@@ -2,11 +2,19 @@
    string->number metric maps bench/main.ml writes) and flag metrics
    that got worse by more than a threshold.
 
-   The gate only *fails* on the generator-facing families — `gen.*`
-   (end-to-end generation wall-clock) and `lp.*` (LP kernel work) —
-   because the exact-arithmetic microbenchmark families are reported
-   with their own speedup metrics and are noisier on shared CI runners.
-   Everything common to both files is still printed. *)
+   The gate only *fails* on the generator-facing and serving-facing
+   families — `gen.*` (end-to-end generation wall-clock), `lp.*` (LP
+   kernel work), `round.*`, `sweep.*`, `campaign.*` and `serve.*` (the
+   zero-allocation serving path) — because the exact-arithmetic
+   microbenchmark families are reported with their own speedup metrics
+   and are noisier on shared CI runners.  Everything common to both
+   files is still printed.
+
+   The file's top-level header (rev, date, and since PR 7 the machine
+   context: jobs, cpus, ocaml version) is parsed separately
+   ([parse_header]) and only *printed* — two runs on different machines
+   or job counts are not comparable, but that's the operator's call, not
+   the gate's. *)
 
 type direction =
   | Lower_better  (* times: *_ns, *_s, and work counts *)
@@ -29,7 +37,7 @@ let direction_of key =
 
 let gated key =
   let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
-  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep." || pfx "campaign."
+  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep." || pfx "campaign." || pfx "serve."
 
 (* ------------------------------------------------------------------ *)
 (* Parsing.  The bench JSON is machine-written with a fixed shape       *)
@@ -100,12 +108,66 @@ let parse_metrics (s : string) : (string * float) list =
   in
   entries start []
 
-let parse_file path =
+(* Top-level scalar header fields: everything before the "metrics" key,
+   in file order.  String values lose their quotes; numbers keep their
+   literal text (the header is display-only, never compared). *)
+let parse_header (s : string) : (string * string) list =
+  let n = String.length s in
+  let fail msg = raise (Parse_error msg) in
+  let skip_ws i =
+    let rec go i =
+      if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then go (i + 1) else i
+    in
+    go i
+  in
+  let parse_string i =
+    if i >= n || s.[i] <> '"' then fail "expected string";
+    let rec go j = if j >= n then fail "unterminated string" else if s.[j] = '"' then j else go (j + 1) in
+    let e = go (i + 1) in
+    (String.sub s (i + 1) (e - i - 1), e + 1)
+  in
+  let scalar i =
+    if i < n && s.[i] = '"' then parse_string i
+    else begin
+      let isnum c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+      let rec go j = if j < n && isnum s.[j] then go (j + 1) else j in
+      let e = go i in
+      if e = i then fail "header: expected a scalar value";
+      (String.sub s i (e - i), e)
+    end
+  in
+  let start =
+    let i = skip_ws 0 in
+    if i >= n || s.[i] <> '{' then fail "not a JSON object";
+    i + 1
+  in
+  let rec entries i acc =
+    let i = skip_ws i in
+    if i >= n then fail "unterminated header"
+    else if s.[i] = '}' then List.rev acc
+    else if s.[i] = ',' then entries (i + 1) acc
+    else begin
+      let key, i = parse_string i in
+      if key = "metrics" then List.rev acc
+      else begin
+        let i = skip_ws i in
+        if i >= n || s.[i] <> ':' then fail (Printf.sprintf "header %S: expected ':'" key);
+        let v, i = scalar (skip_ws (i + 1)) in
+        entries i ((key, v) :: acc)
+      end
+    end
+  in
+  entries start []
+
+let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  parse_metrics s
+  s
+
+let parse_file path = parse_metrics (read_file path)
+let parse_header_file path = parse_header (read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Comparison.                                                         *)

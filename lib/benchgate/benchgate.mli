@@ -13,8 +13,8 @@ type direction = Lower_better | Higher_better
     pivot/solve counts) should not grow. *)
 val direction_of : string -> direction
 
-(** True for the [gen.*] / [lp.*] / [round.*] / [sweep.*] families the
-    gate fails on. *)
+(** True for the [gen.*] / [lp.*] / [round.*] / [sweep.*] /
+    [campaign.*] / [serve.*] families the gate fails on. *)
 val gated : string -> bool
 
 exception Parse_error of string
@@ -26,6 +26,16 @@ val parse_metrics : string -> (string * float) list
 
 (** [parse_file path] reads and parses one BENCH JSON file. *)
 val parse_file : string -> (string * float) list
+
+(** The top-level scalar header fields preceding ["metrics"], in file
+    order (rev, date, and — since the serving PR — jobs, cpus, ocaml).
+    String values lose their quotes; numbers keep their literal text.
+    Display-only context: the gate never compares header fields.
+    @raise Parse_error on documents without the machine-written shape. *)
+val parse_header : string -> (string * string) list
+
+(** [parse_header_file path] is {!parse_header} over a file. *)
+val parse_header_file : string -> (string * string) list
 
 type verdict = {
   key : string;

@@ -24,6 +24,10 @@ type t = {
          result it settles and re-reads it on the next run instead of
          re-running Ziv's loop.  Off by default (results are identical
          either way); enable via RLIBM_ORACLE_CACHE=<dir>. *)
+  batch_par_min : int;
+      (* Smallest batch that shards across domains (Funcs.Batch and the
+         serving pipelines); below it the loop runs inline on the
+         calling domain.  Override via RLIBM_BATCH_PAR_MIN. *)
 }
 
 let default =
@@ -40,4 +44,11 @@ let default =
       (match Sys.getenv_opt "RLIBM_ORACLE_CACHE" with
       | Some d when String.trim d <> "" -> Some (String.trim d)
       | _ -> None);
+    batch_par_min =
+      (match Sys.getenv_opt "RLIBM_BATCH_PAR_MIN" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= 0 -> v
+          | _ -> 1 lsl 14)
+      | None -> 1 lsl 14);
   }

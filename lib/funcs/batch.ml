@@ -3,30 +3,36 @@
    The paper's §4.3 measures a vectorized harness (1024-input arrays)
    where Intel's compiler auto-vectorizes the comparators; RLIBM-32 is
    "almost as fast as vectorized code while producing correct results".
-   OCaml has no auto-vectorizer, but the batch shape still pays: the
-   spec's closures, tables and piecewise structures are hoisted out of
-   the loop, bounds checks amortize, and the double<->pattern conversions
-   pipeline.  The VEC bench section measures scalar-call vs batch.
+   OCaml has no auto-vectorizer, but the batch shape still pays: with
+   the serving kernels (lib/serve) the whole per-element path runs over
+   unboxed floats in flat tables — zero minor-heap allocation per
+   element — instead of the spec's closure chain, which boxes a float at
+   every call boundary.
+
+   [eval_patterns]/[eval_doubles] keep their historical signatures but
+   now delegate the inner loops to {!Serve.Run} whenever the generated
+   function flattens to a kernel ({!Kernels.of_generated}); functions
+   with no kernel (posit targets, non-standard term shapes) stay on the
+   boxed closure path, preserved below as the [_boxed] variants.
 
    Large batches shard across domains via {!Parallel}: each shard owns a
-   disjoint [dst] slice.  The compiled evaluator's scratch is
-   domain-local (see {!Rlibm.Generator.compile}), so one compiled
-   closure is shared by every worker and results are the same bytes at
-   every job count. *)
+   disjoint [dst] slice.  The sharding threshold comes from
+   {!Rlibm.Config} (RLIBM_BATCH_PAR_MIN); below it, domain spawn
+   overhead beats the win. *)
 
 module G = Rlibm.Generator
 
-(* Below this, domain spawn overhead beats the win. *)
-let par_min = 1 lsl 14
+let par_min () = Rlibm.Config.default.batch_par_min
 
 let run_sharded n shard_body =
-  if n < par_min then shard_body ~lo:0 ~hi:n
+  if n < par_min () then shard_body ~lo:0 ~hi:n
   else ignore (Parallel.map_chunks ~n (fun ~lo ~hi -> shard_body ~lo ~hi))
 
-(** [eval_patterns g src dst] applies the generated function to every
-    pattern of [src] into [dst].
-    @raise Invalid_argument on length mismatch. *)
-let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
+(** Boxed reference path: the compiled closure chain, shared by every
+    worker domain (domain-local scratch, see {!Rlibm.Generator.compile}).
+    Kept as the fallback for kernel-less targets and as the baseline the
+    serve bench and tests compare against. *)
+let eval_patterns_boxed (g : G.generated) (src : int array) (dst : int array) =
   if Array.length src <> Array.length dst then invalid_arg "Batch.eval_patterns: length mismatch";
   let f = G.compile g in
   run_sharded (Array.length src) (fun ~lo ~hi ->
@@ -34,9 +40,7 @@ let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
         dst.(i) <- f src.(i)
       done)
 
-(** [eval_doubles g src dst] is the double-valued batch entry point (the
-    arrays hold exact target values, as in the paper's harness). *)
-let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
+let eval_doubles_boxed (g : G.generated) (src : float array) (dst : float array) =
   if Array.length src <> Array.length dst then invalid_arg "Batch.eval_doubles: length mismatch";
   let module T = (val g.spec.repr) in
   let f = G.compile g in
@@ -44,3 +48,24 @@ let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
       for i = lo to hi - 1 do
         dst.(i) <- T.to_double (f (T.of_double src.(i)))
       done)
+
+(** [eval_patterns g src dst] applies the generated function to every
+    pattern of [src] into [dst].
+    @raise Invalid_argument on length mismatch. *)
+let eval_patterns (g : G.generated) (src : int array) (dst : int array) =
+  match Kernels.of_generated g with
+  | Some p ->
+      if Array.length src <> Array.length dst then
+        invalid_arg "Batch.eval_patterns: length mismatch";
+      Serve.Run.patterns ~par_min:(par_min ()) p src dst
+  | None -> eval_patterns_boxed g src dst
+
+(** [eval_doubles g src dst] is the double-valued batch entry point (the
+    arrays hold exact target values, as in the paper's harness). *)
+let eval_doubles (g : G.generated) (src : float array) (dst : float array) =
+  match Kernels.of_generated g with
+  | Some p ->
+      if Array.length src <> Array.length dst then
+        invalid_arg "Batch.eval_doubles: length mismatch";
+      Serve.Run.doubles ~par_min:(par_min ()) p src dst
+  | None -> eval_doubles_boxed g src dst

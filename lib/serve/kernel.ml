@@ -1,0 +1,561 @@
+(* The zero-allocation serving kernel: one monomorphic evaluation plan
+   per (function, representation, rounding mode).
+
+   The scalar run-time path ({!Rlibm.Generator.eval_pattern}) is a chain
+   of closures over boxed floats: the special-case probe returns an
+   option, the reduction returns a mixed float/int record, every
+   piecewise evaluator is an indirect call with a float argument, and
+   the final rounding crosses a module boundary with a float.  On the
+   non-flambda compiler each of those boundaries boxes, so a batch call
+   allocates several minor-heap words per element.
+
+   A [plan] flattens that chain into data: the special-region
+   thresholds, the range-reduction constants, the flat coefficient and
+   compensation tables, and the output format's rounding parameters all
+   sit in one record, and the evaluation is three top-level functions
+   ([stage1] -> [eval_piece] -> [compose]) whose call boundaries carry
+   only ints (plus a preallocated [float array] scratch for the reduced
+   input and component values — float array slots are unboxed storage,
+   so floats cross the stage boundaries without boxing).  64-bit double
+   patterns cross as two 32-bit int halves.  Every float intermediate is
+   local to one function body, where the Closure-mode backend keeps it
+   in a register.
+
+   Bit-identity contract: for every input pattern the plan either takes
+   the fast path — whose operation order replicates the scalar chain's
+   expression by expression (see the per-family notes below) — or bails
+   to [fallback], which IS the scalar path.  The fast path is taken only
+   outside the special-case regions, so specials stay bit-identical by
+   construction and the steady-state path allocates nothing. *)
+
+type shape =
+  | S0123  (* terms 0,1,2,3: dense cubic *)
+  | S123  (* terms 1,2,3: odd-anchored cubic (log family) *)
+  | S135  (* terms 1,3,5: odd polynomial in r, Horner in r^2 *)
+  | S024  (* terms 0,2,4: even polynomial in r, Horner in r^2 *)
+
+(* One sign group of a piecewise table: {!Rlibm.Splitting.scheme} with
+   the int64 hull bounds split into 32-bit halves (an unsigned 64-bit
+   compare in native ints), plus the row-major coefficient matrix. *)
+type pgroup = {
+  nbits : int;
+  shift : int;
+  lo_hi : int;  (* high 32 bits of the hull's low-end raw double bits *)
+  lo_lo : int;
+  hi_hi : int;
+  hi_lo : int;
+  nt : int;  (* terms per row *)
+  coeffs : float array;  (* (2^nbits) * nt, row-major *)
+}
+
+type piece = {
+  shape : shape;
+  neg : pgroup option;
+  pos : pgroup option;
+}
+
+(* Special-case region probe, mirroring the decision structure of the
+   {!Funcs.Specs} special builders.  Firing sends the input to the
+   scalar fallback; the probe must therefore cover (at least) every
+   input the spec's [special] maps to [Some]. *)
+type check =
+  | Chk_log  (* x <= 0 (log family poles and NaN region) *)
+  | Chk_signed of { hi : float; lo : float; snap : float }
+      (* x >= hi || x <= lo || |x| <= snap  (exp family, expm1) *)
+  | Chk_abs of { hi : float; snap : float }
+      (* |x| >= hi || |x| <= snap  (sinh/cosh/tanh/sinpi/cospi) *)
+  | Chk_log1p of { snap : float }  (* x <= -1 || |x| <= snap *)
+
+(* Range reduction + output compensation, one constructor per family.
+   Table arrays are flat copies owned by the plan (see {!clone}): the
+   shared {!Funcs.Tables} one-shots are never touched from the hot
+   loop, so pinned per-domain plans share no mutable or cache-hot
+   structure. *)
+type family =
+  | Log of { escale : float; f_tbl : float array; add_one : bool }
+      (* ln/log2/log10/log1p: y = e*escale + f_tbl[j] + v0.
+         escale = ln(2), 1, or log10(2); multiplying the exact integer
+         [e] by 1.0 is exact, so log2 shares the expression. *)
+  | Exp of { inv_c : float; cw_hi : float; cw_lo : float; t2 : float array; minus_one : bool }
+      (* exp/exp2/exp10/expm1: Cody-Waite reduction, y = 2^q*(t2[j]*v0).
+         exp2 uses inv_c = 64, cw = (1/64, 0): x - fk/64 is exact, and
+         subtracting fk*0.0 afterwards cannot change the sign or value
+         of the result, so the generic expression is bit-identical to
+         the specialized exp2 reduction. *)
+  | Tanh of { inv_c : float; cw_hi : float; cw_lo : float; t2 : float array }
+      (* tanh via w = e^(2|x|): y = s * (w-1)/(w+1) *)
+  | Sinpi of { spn : float array; cpn : float array }
+  | Cospi of { spn : float array; cpn : float array }
+  | Sinh of { sh : float array; ch : float array }
+  | Cosh of { sh : float array; ch : float array }
+
+type plan = {
+  (* identity (display / dispatch only) *)
+  name : string;
+  tname : string;
+  mode : Fp.Rounding_mode.t;
+  (* input format decode *)
+  width : int;
+  hw32 : bool;
+      (* float32: the doubles pipeline uses the hardware single<->double
+         casts (what Fp.Fp32.of_double/to_double do at RNE), identical
+         to the integer path on finite values and NaN-payload-exact *)
+  hw_rne : bool;
+      (* hw32 && mode = RNE: output rounding is the hardware
+         double->single cast.  The cast rounds the finite double y in
+         one step exactly as the integer path does at RNE — overflow
+         lands on the correct infinity, underflow on the correctly
+         rounded subnormal, -0.0 on the sign pattern — and the fast path
+         never rounds a NaN.  Precomputed as a bool because the per-call
+         test must be one load, not a variant compare. *)
+  i_mb : int;
+  i_emask : int;
+  i_mmask : int;
+  i_sbit : int;
+  i_dexp_off : int;  (* 1023 - bias: target exponent field -> double's *)
+  i_sub_scale : float;  (* 2^(emin - mb): subnormal significand scale *)
+  check : check;
+  family : family;
+  pieces : piece array;  (* length 1 (log/exp) or 2 (trig/hyperbolic) *)
+  (* output rounding (replicates Fp.Ieee.of_double for this fmt/mode) *)
+  o_mb : int;
+  o_mmask : int;
+  o_sbit : int;
+  o_bias : int;
+  o_emin : int;
+  o_emax : int;
+  o_nan : int;
+  o_inf_pos : int;
+  o_inf_neg : int;
+  o_maxf_pos : int;  (* max_finite_pattern, per sign *)
+  o_maxf_neg : int;
+  (* scalar path for special-region and non-finite inputs *)
+  fallback : int -> int;
+}
+
+(* Scratch layout (a per-shard [float array] of length 4):
+   0 = reduced input r;  1 = component value v0;  2 = v1;  3 = y. *)
+let scratch_len = 4
+
+let scratch () = Array.make scratch_len 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Output rounding: Fp.Ieee.of_double/of_double_finite replicated over  *)
+(* the double's raw bits passed as two 32-bit halves, so no float       *)
+(* crosses the call boundary.  The m53 significand fits a native int.   *)
+(* Bit-identity notes: the fp32 RNE hardware cast ({!Fp.Fp32.of_double})*)
+(* agrees with this integer path on every finite double, and the fast   *)
+(* path only ever rounds finite doubles — NaN results come out of the   *)
+(* scalar fallback.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Ieee.overflow_pattern: where an out-of-range magnitude lands depends
+   on the rounding mode, and this function rounds under two different
+   modes (the plan's, and RNE for the input leg of the doubles
+   pipeline), so the decision stays dynamic. *)
+let overflow (p : plan) mode neg =
+  let to_inf =
+    match mode with
+    | Fp.Rounding_mode.Rne | Fp.Rounding_mode.Rna -> true
+    | Fp.Rounding_mode.Up -> not neg
+    | Fp.Rounding_mode.Down -> neg
+    | Fp.Rounding_mode.Zero | Fp.Rounding_mode.Odd -> false
+  in
+  if to_inf then (if neg then p.o_inf_neg else p.o_inf_pos)
+  else if neg then p.o_maxf_neg
+  else p.o_maxf_pos
+
+let round_bits (p : plan) mode hi lo =
+  let neg = hi land 0x8000_0000 <> 0 in
+  let sign = if neg then p.o_sbit else 0 in
+  let de = (hi lsr 20) land 0x7FF in
+  let dm = ((hi land 0xF_FFFF) lsl 32) lor lo in
+  if de = 0x7FF then (if dm = 0 then (if neg then p.o_inf_neg else p.o_inf_pos) else p.o_nan)
+  else if de = 0 && dm = 0 then sign (* signed zero *)
+  else if de = 0 then
+    (* A subnormal double sits far below half of any target's smallest
+       subnormal, but is nonzero. *)
+    if Fp.Rounding_mode.round_up ~mode ~neg ~odd:false ~inexact:true ~half_cmp:(-1) then
+      sign lor 1
+    else sign
+  else begin
+    let m53 = dm lor (1 lsl 52) in
+    let e = de - 1023 in
+    if e > p.o_emax + 1 then overflow p mode neg
+    else begin
+      let prec = if e >= p.o_emin then p.o_mb + 1 else p.o_mb + 1 + (e - p.o_emin) in
+      if prec <= 0 then begin
+        let half_cmp =
+          if e < p.o_emin - p.o_mb - 1 then -1
+          else if m53 < 1 lsl 52 then -1
+          else if m53 > 1 lsl 52 then 1
+          else 0
+        in
+        if Fp.Rounding_mode.round_up ~mode ~neg ~odd:false ~inexact:true ~half_cmp then
+          sign lor 1
+        else sign
+      end
+      else begin
+        (* prec <= 26 < 53 for every instantiated format *)
+        let shift = 53 - prec in
+        let m = m53 lsr shift in
+        let rest = m53 land ((1 lsl shift) - 1) in
+        let inexact = rest <> 0 in
+        let twice = rest lsl 1 in
+        let half = 1 lsl shift in
+        let half_cmp = if twice < half then -1 else if twice > half then 1 else 0 in
+        let up = Fp.Rounding_mode.round_up ~mode ~neg ~odd:(m land 1 = 1) ~inexact ~half_cmp in
+        let m = if up then m + 1 else m in
+        (* Ieee.finish *)
+        let carry = m = 1 lsl prec in
+        let m = if carry then m lsr 1 else m in
+        let scale = (e - prec + 1) + if carry then 1 else 0 in
+        if m lsr p.o_mb > 0 then begin
+          let unbiased = p.o_mb + scale in
+          if unbiased > p.o_emax then overflow p mode neg
+          else sign lor ((unbiased + p.o_bias) lsl p.o_mb) lor (m land p.o_mmask)
+        end
+        else sign lor (m lsl (scale - (p.o_emin - p.o_mb)))
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: decode, special probe, range reduction.                    *)
+(* Returns the packed compensation key (>= 0 for every in-domain        *)
+(* input) or -1 when the input belongs to the scalar fallback.  The     *)
+(* reduced input lands in s.(0).                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stage1 (p : plan) (s : float array) pat =
+  let e = (pat lsr p.i_mb) land p.i_emask in
+  if e = p.i_emask then -1 (* NaN / infinity *)
+  else begin
+    (* Inline Ieee.to_double for a finite pattern: normals by exponent
+       rebias and mantissa shift, subnormals by exact integer scaling.
+       float32 takes the hardware widening instead — exact on every
+       finite pattern, and one instruction instead of the assembly. *)
+    let x =
+      if p.hw32 then Int32.float_of_bits (Int32.of_int pat)
+      else begin
+        let m = pat land p.i_mmask in
+        let mag =
+          if e = 0 then float_of_int m *. p.i_sub_scale
+          else
+            Int64.float_of_bits
+              (Int64.logor
+                 (Int64.shift_left (Int64.of_int (e + p.i_dexp_off)) 52)
+                 (Int64.shift_left (Int64.of_int m) (52 - p.i_mb)))
+        in
+        if pat land p.i_sbit = 0 then mag else -.mag
+      end
+    in
+    let special =
+      match p.check with
+      | Chk_log -> x <= 0.0
+      | Chk_signed c -> x >= c.hi || x <= c.lo || Float.abs x <= c.snap
+      | Chk_abs c -> Float.abs x >= c.hi || Float.abs x <= c.snap
+      | Chk_log1p c -> x <= -1.0 || Float.abs x <= c.snap
+    in
+    if special then -1
+    else
+      match p.family with
+      | Log f ->
+          (* Reductions.log_reduce with Float.frexp inlined on the raw
+             bits: every value reaching here is a positive normal
+             double (the smallest target subnormal is ~2^-151, and the
+             log1p sum 1+x is >= one target ulp below 1), so the
+             rescaled significand is the mantissa field under exponent
+             1023 and e = biased_exponent - 1023. *)
+          let z = if f.add_one then 1.0 +. x else x in
+          let zb = Int64.bits_of_float z in
+          let zh = Int64.to_int (Int64.shift_right_logical zb 32) in
+          let be = zh lsr 20 in
+          let j = (zh lsr 13) land 0x7F in
+          let m2 =
+            Int64.float_of_bits
+              (Int64.logor 0x3FF0_0000_0000_0000L (Int64.logand zb 0xF_FFFF_FFFF_FFFFL))
+          in
+          let fj = 1.0 +. (float_of_int j /. 128.0) in
+          s.(0) <- (m2 -. fj) /. fj;
+          j lor ((be - 1023 + 2048) lsl 8)
+      | Exp f ->
+          (* Reductions.exp_reduce: k = round(x * 64/log_b 2), Cody-
+             Waite subtraction in the same order. *)
+          let k = Float.to_int (Float.round (x *. f.inv_c)) in
+          let fk = float_of_int k in
+          s.(0) <- x -. (fk *. f.cw_hi) -. (fk *. f.cw_lo);
+          (k land 63) lor (((k asr 6) + 2048) lsl 8)
+      | Tanh f ->
+          (* Reductions.tanh_reduce: exp reduction on t = 2|x| (exact
+             doubling), input sign in bit 22. *)
+          let t = 2.0 *. Float.abs x in
+          let k = Float.to_int (Float.round (t *. f.inv_c)) in
+          let fk = float_of_int k in
+          s.(0) <- t -. (fk *. f.cw_hi) -. (fk *. f.cw_lo);
+          (k land 63)
+          lor (((k asr 6) + 2048) lsl 8)
+          lor ((if x < 0.0 then 1 else 0) lsl 22)
+      | Sinpi _ ->
+          (* Reductions.sinpi_reduce (x = 0 is snapped by the probe, so
+             the signed-zero test collapses to x < 0). *)
+          let z = Float.abs x in
+          let jj = z -. (2.0 *. Float.of_int (Float.to_int (z /. 2.0))) in
+          let jj = if jj < 0.0 then jj +. 2.0 else jj in
+          let k = if jj >= 1.0 then 1 else 0 in
+          let l = jj -. float_of_int k in
+          let l' = if l > 0.5 then 1.0 -. l else l in
+          let n0 = Float.to_int (l' *. 512.0) in
+          let n = if n0 > 255 then 255 else n0 in
+          s.(0) <- l' -. (float_of_int n /. 512.0);
+          let sneg = x < 0.0 <> (k = 1) in
+          n lor ((if sneg then 1 else 0) lsl 9)
+      | Cospi _ ->
+          (* Reductions.cospi_reduce (§5's non-negative-table redesign). *)
+          let z = Float.abs x in
+          let jj = z -. (2.0 *. Float.of_int (Float.to_int (z /. 2.0))) in
+          let jj = if jj < 0.0 then jj +. 2.0 else jj in
+          let k = if jj >= 1.0 then 1 else 0 in
+          let l = jj -. float_of_int k in
+          let m1 = l > 0.5 in
+          let l' = if m1 then 1.0 -. l else l in
+          let n0 = Float.to_int (l' *. 512.0) in
+          let n = if n0 > 255 then 255 else n0 in
+          if n = 0 && l' < 0x1p-10 then begin
+            s.(0) <- l';
+            let sneg = (k = 1) <> m1 in
+            (if sneg then 1 lsl 9 else 0)
+          end
+          else begin
+            let c = Float.to_int (Float.ceil (l' *. 512.0)) in
+            let c = if float_of_int c /. 512.0 = l' then c + 1 else c in
+            let n' = if c > 256 then 256 else c in
+            s.(0) <- (float_of_int n' /. 512.0) -. l';
+            let sneg = (k = 1) <> m1 in
+            n' lor ((if sneg then 1 else 0) lsl 9)
+          end
+      | Sinh _ | Cosh _ ->
+          (* Reductions.sinhcosh_reduce: |x| = N/64 + R, exact. *)
+          let z = Float.abs x in
+          let n = Float.to_int (z *. 64.0) in
+          s.(0) <- z -. (float_of_int n /. 64.0);
+          n lor ((if x < 0.0 then 1 else 0) lsl 13)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: piecewise polynomial at r = s.(0) into s.(dst).             *)
+(* Operation order is identical to Piecewise.compile_group (which is    *)
+(* itself op-order-identical to Piecewise.eval).                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_piece (pc : piece) (s : float array) dst =
+  let r = Array.unsafe_get s 0 in
+  let g = if r < 0.0 then pc.neg else pc.pos in
+  match g with
+  | None -> Array.unsafe_set s dst 0.0
+  | Some g ->
+      (* Splitting.index: clamp the raw bits into the hull (unsigned
+         64-bit order via the int halves), then one shift and mask. *)
+      let rb = Int64.bits_of_float r in
+      let bh = Int64.to_int (Int64.shift_right_logical rb 32) in
+      let bl = Int64.to_int (Int64.logand rb 0xFFFF_FFFFL) in
+      let below = bh < g.lo_hi || (bh = g.lo_hi && bl < g.lo_lo) in
+      let bh = if below then g.lo_hi else bh in
+      let bl = if below then g.lo_lo else bl in
+      let above = bh > g.hi_hi || (bh = g.hi_hi && bl > g.hi_lo) in
+      let bh = if above then g.hi_hi else bh in
+      let bl = if above then g.hi_lo else bl in
+      let sh = g.shift in
+      let idx =
+        (if sh >= 32 then bh lsr (sh - 32) else (bh lsl (32 - sh)) lor (bl lsr sh))
+        land ((1 lsl g.nbits) - 1)
+      in
+      let o = idx * g.nt in
+      let c = g.coeffs in
+      let v =
+        match pc.shape with
+        | S0123 ->
+            Array.unsafe_get c o
+            +. (r
+                *. (Array.unsafe_get c (o + 1)
+                   +. (r *. (Array.unsafe_get c (o + 2) +. (r *. Array.unsafe_get c (o + 3))))))
+        | S123 ->
+            r
+            *. (Array.unsafe_get c o
+               +. (r *. (Array.unsafe_get c (o + 1) +. (r *. Array.unsafe_get c (o + 2)))))
+        | S135 ->
+            let u = r *. r in
+            r
+            *. (Array.unsafe_get c o
+               +. (u *. (Array.unsafe_get c (o + 1) +. (u *. Array.unsafe_get c (o + 2)))))
+        | S024 ->
+            let u = r *. r in
+            Array.unsafe_get c o
+            +. (u *. (Array.unsafe_get c (o + 1) +. (u *. Array.unsafe_get c (o + 2))))
+      in
+      Array.unsafe_set s dst v
+
+(* ------------------------------------------------------------------ *)
+(* Stage 3: output compensation (expression order identical to          *)
+(* Funcs.Reductions' OC functions) and the final rounding.              *)
+(* ------------------------------------------------------------------ *)
+
+let compose (p : plan) (s : float array) aux =
+  (match p.family with
+  | Log f ->
+      let j = aux land 0xFF in
+      let e = (aux lsr 8) - 2048 in
+      Array.unsafe_set s 3
+        ((float_of_int e *. f.escale) +. Array.unsafe_get f.f_tbl j +. Array.unsafe_get s 1)
+  | Exp f ->
+      let j = aux land 0xFF in
+      let q = (aux lsr 8) - 2048 in
+      (* Tables.pow2 inlined: exact bit assembly for the in-range
+         exponents (every in-domain input), ldexp beyond. *)
+      let pw =
+        if q >= -1022 && q <= 1023 then
+          Int64.float_of_bits (Int64.shift_left (Int64.of_int (q + 1023)) 52)
+        else Float.ldexp 1.0 q
+      in
+      let y = pw *. (Array.unsafe_get f.t2 j *. Array.unsafe_get s 1) in
+      Array.unsafe_set s 3 (if f.minus_one then y -. 1.0 else y)
+  | Tanh f ->
+      let j = aux land 0xFF in
+      let q = ((aux land 0x3F_FFFF) lsr 8) - 2048 in
+      let sgn = if aux land (1 lsl 22) <> 0 then -1.0 else 1.0 in
+      let pw =
+        if q >= -1022 && q <= 1023 then
+          Int64.float_of_bits (Int64.shift_left (Int64.of_int (q + 1023)) 52)
+        else Float.ldexp 1.0 q
+      in
+      let w = pw *. (Array.unsafe_get f.t2 j *. Array.unsafe_get s 1) in
+      Array.unsafe_set s 3 (sgn *. ((w -. 1.0) /. (w +. 1.0)))
+  | Sinpi f ->
+      let n = aux land 0x1FF in
+      let sgn = if aux land (1 lsl 9) <> 0 then -1.0 else 1.0 in
+      Array.unsafe_set s 3
+        (sgn
+        *. ((Array.unsafe_get f.spn n *. Array.unsafe_get s 2)
+           +. (Array.unsafe_get f.cpn n *. Array.unsafe_get s 1)))
+  | Cospi f ->
+      let n' = aux land 0x1FF in
+      let sgn = if aux land (1 lsl 9) <> 0 then -1.0 else 1.0 in
+      if n' = 0 then Array.unsafe_set s 3 (sgn *. Array.unsafe_get s 2)
+      else
+        Array.unsafe_set s 3
+          (sgn
+          *. ((Array.unsafe_get f.cpn n' *. Array.unsafe_get s 2)
+             +. (Array.unsafe_get f.spn n' *. Array.unsafe_get s 1)))
+  | Sinh f ->
+      let n = aux land 0x1FFF in
+      let sgn = if aux land (1 lsl 13) <> 0 then -1.0 else 1.0 in
+      Array.unsafe_set s 3
+        (sgn
+        *. ((Array.unsafe_get f.sh n *. Array.unsafe_get s 2)
+           +. (Array.unsafe_get f.ch n *. Array.unsafe_get s 1)))
+  | Cosh f ->
+      let n = aux land 0x1FFF in
+      Array.unsafe_set s 3
+        ((Array.unsafe_get f.ch n *. Array.unsafe_get s 2)
+        +. (Array.unsafe_get f.sh n *. Array.unsafe_get s 1)));
+  if p.hw_rne then
+    (* One hardware cast replaces the whole integer rounding: identical
+       on the finite y the fast path produces (see the field's note). *)
+    Int32.to_int (Int32.bits_of_float (Array.unsafe_get s 3)) land 0xFFFF_FFFF
+  else begin
+    let yb = Int64.bits_of_float (Array.unsafe_get s 3) in
+    round_bits p p.mode
+      (Int64.to_int (Int64.shift_right_logical yb 32))
+      (Int64.to_int (Int64.logand yb 0xFFFF_FFFFL))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The per-element step and pattern-level probes.                      *)
+(* ------------------------------------------------------------------ *)
+
+(** [eval p s pat] applies the plan to one input pattern, using [s] (a
+    {!scratch}) for unboxed float hand-off between the stages. *)
+let eval (p : plan) (s : float array) pat =
+  let aux = stage1 p s pat in
+  if aux < 0 then p.fallback pat
+  else begin
+    let pcs = p.pieces in
+    eval_piece (Array.unsafe_get pcs 0) s 1;
+    if Array.length pcs > 1 then eval_piece (Array.unsafe_get pcs 1) s 2;
+    compose p s aux
+  end
+
+(** [is_fast p pat]: would [pat] take the allocation-free path?  (Used
+    by workload generators and tests; not on the hot path itself.) *)
+let is_fast (p : plan) pat =
+  let e = (pat lsr p.i_mb) land p.i_emask in
+  if e = p.i_emask then false
+  else begin
+    let m = pat land p.i_mmask in
+    let mag =
+      if e = 0 then float_of_int m *. p.i_sub_scale
+      else
+        Int64.float_of_bits
+          (Int64.logor
+             (Int64.shift_left (Int64.of_int (e + p.i_dexp_off)) 52)
+             (Int64.shift_left (Int64.of_int m) (52 - p.i_mb)))
+    in
+    let x = if pat land p.i_sbit = 0 then mag else -.mag in
+    not
+      (match p.check with
+      | Chk_log -> x <= 0.0
+      | Chk_signed c -> x >= c.hi || x <= c.lo || Float.abs x <= c.snap
+      | Chk_abs c -> Float.abs x >= c.hi || Float.abs x <= c.snap
+      | Chk_log1p c -> x <= -1.0 || Float.abs x <= c.snap)
+  end
+
+(** [to_double p pat] widens an output pattern to the double the
+    representation's [to_double] would produce (NaN payloads widen the
+    hardware way: sign and payload preserved, which is what
+    {!Fp.Fp32.to_double} does; the generic {!Fp.Ieee.to_double} returns
+    a canonical NaN instead — callers comparing doubles must compare
+    NaNs as a class, as the tests do). *)
+let to_double (p : plan) pat =
+  let e = (pat lsr p.i_mb) land p.i_emask in
+  let m = pat land p.i_mmask in
+  let neg = pat land p.i_sbit <> 0 in
+  if e = p.i_emask then
+    Int64.float_of_bits
+      (Int64.logor
+         (Int64.logor (if neg then Int64.min_int else 0L) 0x7FF0_0000_0000_0000L)
+         (Int64.shift_left (Int64.of_int m) (52 - p.i_mb)))
+  else begin
+    let mag =
+      if e = 0 then float_of_int m *. p.i_sub_scale
+      else
+        Int64.float_of_bits
+          (Int64.logor
+             (Int64.shift_left (Int64.of_int (e + p.i_dexp_off)) 52)
+             (Int64.shift_left (Int64.of_int m) (52 - p.i_mb)))
+    in
+    if neg then -.mag else mag
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cloning (per-domain table pinning).                                 *)
+(* ------------------------------------------------------------------ *)
+
+let clone_group (g : pgroup) = { g with coeffs = Array.copy g.coeffs }
+
+let clone_piece (pc : piece) =
+  { pc with neg = Option.map clone_group pc.neg; pos = Option.map clone_group pc.pos }
+
+(** Deep-copy every flat table of a plan, so each worker domain can own
+    a private replica (no shared cache lines on the hot loop). *)
+let clone (p : plan) =
+  let family =
+    match p.family with
+    | Log f -> Log { f with f_tbl = Array.copy f.f_tbl }
+    | Exp f -> Exp { f with t2 = Array.copy f.t2 }
+    | Tanh f -> Tanh { f with t2 = Array.copy f.t2 }
+    | Sinpi f -> Sinpi { spn = Array.copy f.spn; cpn = Array.copy f.cpn }
+    | Cospi f -> Cospi { spn = Array.copy f.spn; cpn = Array.copy f.cpn }
+    | Sinh f -> Sinh { sh = Array.copy f.sh; ch = Array.copy f.ch }
+    | Cosh f -> Cosh { sh = Array.copy f.sh; ch = Array.copy f.ch }
+  in
+  { p with family; pieces = Array.map clone_piece p.pieces }
