@@ -7,11 +7,13 @@
 #                     standard rounding modes derived from the float34
 #                     round-to-odd table — RLIBM_EXHAUSTIVE=1)
 #   make bench-json   exact-arithmetic + generator benches, results
-#                     written to BENCH_<rev>.json
+#                     written to BENCH_<rev>.json (schema-v1 datafile)
+#   make bench-diff   markdown diff of two run datafiles:
+#                     make bench-diff BASE=BENCH_old.json CURR=BENCH_new.json
 #
 # RLIBM_JOBS=<n> controls worker domains for the sharded passes.
 
-.PHONY: all build check-fast check-full bench bench-json clean
+.PHONY: all build check-fast check-full bench bench-json bench-diff clean
 
 all: build
 
@@ -29,6 +31,9 @@ bench: build
 
 bench-json: build
 	dune exec bench/main.exe -- --json bigint rational lp gen round sweep campaign serve
+
+bench-diff: build
+	dune exec bin/report.exe -- datafile-diff $(BASE) $(CURR)
 
 clean:
 	dune clean

@@ -1010,35 +1010,37 @@ let serve_section () =
             kern (kern /. boxed);
           record "serve.f32_log2_uniform_vs_boxed_speedup" (kern /. boxed))
 
+(* Emit the run as a schema-v1 datafile (lib/datafile).  The file keeps
+   the historical BENCH_<rev>.json name so CI's baseline picking and the
+   committed history stay continuous; Datafile.read lifts the old
+   pre-schema files transparently, so old and new baselines coexist.
+   Metrics group into one row per family (the key prefix before the
+   first '.') — flattening the rows reproduces the recording order, so
+   gate verdicts don't depend on which writer produced the file.  The
+   machine context (jobs/cpus/ocaml) rides along for Datafile's
+   host-comparability check: numbers from two different machines or job
+   counts are noise when compared. *)
 let write_json () =
-  let rev =
-    try
-      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-      let r = try input_line ic with End_of_file -> "unknown" in
-      ignore (Unix.close_process_in ic);
-      r
-    with _ -> "unknown"
-  in
-  let file = Printf.sprintf "BENCH_%s.json" rev in
-  let oc = open_out file in
-  let tm = Unix.gmtime (Unix.time ()) in
-  Printf.fprintf oc "{\n  \"rev\": %S,\n  \"date\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
-    rev (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
-    tm.Unix.tm_min tm.Unix.tm_sec;
-  (* Machine context: numbers from two different machines (or job
-     counts) are not comparable, so the gate prints these header fields
-     alongside its verdicts (Benchgate.parse_header). *)
-  Printf.fprintf oc "  \"jobs\": %d,\n  \"cpus\": %d,\n  \"ocaml\": %S,\n" (Parallel.jobs ())
-    (Domain.recommended_domain_count ()) Sys.ocaml_version;
-  Printf.fprintf oc "  \"metrics\": {\n";
   let entries = List.rev !metrics in
-  List.iteri
-    (fun i (k, v) ->
-      Printf.fprintf oc "    %S: %.3f%s\n" k v (if i = List.length entries - 1 then "" else ","))
-    entries;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s (%d metrics)\n%!" file (List.length entries)
+  let rev = Datafile.git_rev () in
+  let file = Printf.sprintf "BENCH_%s.json" rev in
+  Datafile.write ~path:file
+    {
+      Datafile.rev;
+      date = Datafile.timestamp ();
+      seed = None;
+      config = "bench --json";
+      host =
+        Some
+          {
+            Datafile.jobs = Parallel.jobs ();
+            cpus = Domain.recommended_domain_count ();
+            ocaml = Sys.ocaml_version;
+          };
+      rows = Datafile.rows_of_metrics ~kind:"bench" entries;
+    };
+  Printf.printf "\nwrote %s (%d metrics, datafile schema v%d)\n%!" file (List.length entries)
+    Datafile.schema_version
 
 let () =
   Printf.printf "RLIBM-32 reproduction benchmarks (see EXPERIMENTS.md for the paper mapping)\n";

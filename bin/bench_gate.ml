@@ -1,6 +1,11 @@
-(* CI bench-regression gate: compare a fresh BENCH_<rev>.json against
-   the newest committed baseline and exit non-zero when a gen.* or lp.*
-   metric regressed past the threshold.  See lib/benchgate. *)
+(* CI bench-regression gate: compare a fresh benchmark datafile against
+   the newest committed baseline and exit non-zero when a gated metric
+   regressed past the threshold.  Reading, host comparability and the
+   comparison semantics all live in lib/datafile (Datafile.read /
+   host_mismatch / diff); this binary is the exit-code wrapper CI calls.
+
+   Both schema-v1 datafiles and the committed pre-schema BENCH_*.json
+   baselines are accepted — Datafile.read lifts the legacy format. *)
 
 open Cmdliner
 
@@ -22,7 +27,7 @@ let newest_baseline ~excluding dir =
   | [] -> None
   | x :: _ -> Some x
 
-let run baseline current threshold =
+let run baseline current threshold strict_host markdown_out =
   let baseline =
     match baseline with
     | Some b -> b
@@ -34,48 +39,82 @@ let run baseline current threshold =
             exit 0)
   in
   Format.printf "bench-gate: %s (baseline) vs %s (current)@." baseline current;
-  (* Machine context (rev, date, jobs, cpus, ocaml) is printed, never
-     gated: runs from different machines are still comparable if the
-     operator says so, but the mismatch should be visible in the log. *)
-  let show_header tag path =
-    match Benchgate.parse_header_file path with
-    | exception _ -> ()
-    | fields ->
-        Format.printf "  %-8s %s@." tag
-          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) fields))
+  let load tag path =
+    match Datafile.read ~path with
+    | Ok t -> t
+    | Error msg ->
+        Format.eprintf "bench-gate: %s file: %s@." tag msg;
+        exit 2
   in
-  show_header "baseline" baseline;
-  show_header "current" current;
-  match (Benchgate.parse_file baseline, Benchgate.parse_file current) with
-  | exception Sys_error msg ->
-      Format.eprintf "bench-gate: %s@." msg;
-      exit 2
-  | exception Benchgate.Parse_error msg ->
-      Format.eprintf "bench-gate: malformed bench JSON: %s@." msg;
-      exit 2
-  | base, curr ->
-      let verdicts = Benchgate.compare_metrics ~threshold base curr in
-      Benchgate.pp_report Format.std_formatter ~threshold verdicts;
-      exit (if Benchgate.any_regression verdicts then 1 else 0)
+  let base = load "baseline" baseline in
+  let curr = load "current" current in
+  let show_header tag (t : Datafile.t) =
+    Format.printf "  %-8s %s@." tag
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) (Datafile.header_fields t)))
+  in
+  show_header "baseline" base;
+  show_header "current" curr;
+  (* Cross-host ratios are noise.  The default is a loud warning — the
+     committed baselines come from developer machines while CI runs on
+     shared runners, and that comparison is still the operator's call —
+     but --strict-host turns the mismatch into a refusal. *)
+  (match Datafile.host_mismatch base curr with
+  | [] -> ()
+  | reasons ->
+      List.iter
+        (fun r -> Format.printf "bench-gate: WARNING — runs are not host-comparable: %s@." r)
+        reasons;
+      if strict_host then begin
+        Format.eprintf "bench-gate: refusing cross-host comparison (--strict-host)@.";
+        exit 2
+      end);
+  (match markdown_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Datafile.markdown_diff ~threshold base curr);
+      close_out oc;
+      Format.printf "bench-gate: wrote markdown diff to %s@." path);
+  let verdicts = Datafile.diff ~threshold base curr in
+  Datafile.pp_diff Format.std_formatter ~threshold verdicts;
+  exit (if Datafile.any_regression verdicts then 1 else 0)
 
 let baseline_term =
   Arg.(value & opt (some file) None
        & info [ "baseline" ]
-           ~doc:"Baseline BENCH_<rev>.json.  Default: the most recently modified BENCH_*.json \
-                 next to $(b,--current), excluding the current file itself.")
+           ~doc:"Baseline datafile (schema-v1 or legacy BENCH_<rev>.json).  Default: the most \
+                 recently modified BENCH_*.json next to $(b,--current), excluding the current \
+                 file itself.")
 
 let current_term =
   Arg.(required & opt (some file) None
-       & info [ "current" ] ~doc:"Freshly produced BENCH_<rev>.json to judge.")
+       & info [ "current" ] ~doc:"Freshly produced datafile to judge.")
 
 let threshold_term =
   Arg.(value & opt float 0.25
        & info [ "threshold" ]
-           ~doc:"Allowed relative regression on gen.* and lp.* metrics (0.25 = 25%).")
+           ~doc:"Allowed relative regression on gated (gen.*/lp.*/round.*/sweep.*/campaign.*/\
+                 serve.*) metrics (0.25 = 25%).")
+
+let strict_host_term =
+  Arg.(value & flag
+       & info [ "strict-host" ]
+           ~doc:"Refuse (exit 2) instead of warning when the two runs record different \
+                 jobs/cpus/ocaml machine contexts.")
+
+let markdown_term =
+  Arg.(value & opt (some string) None
+       & info [ "markdown" ] ~docv:"FILE"
+           ~doc:"Also write the comparison as a GitHub-flavored markdown table to $(docv) \
+                 (for \\$GITHUB_STEP_SUMMARY).")
 
 let () =
   let info =
     Cmd.info "bench_gate"
-      ~doc:"Fail when a gen.*/lp.* benchmark metric regressed vs the committed baseline"
+      ~doc:"Fail when a gated benchmark metric regressed vs the committed baseline"
   in
-  exit (Cmd.eval (Cmd.v info Term.(const run $ baseline_term $ current_term $ threshold_term)))
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const run $ baseline_term $ current_term $ threshold_term $ strict_host_term
+                $ markdown_term)))

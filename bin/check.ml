@@ -264,6 +264,23 @@ let write_report path ~identity (o : Sweep.Engine.outcome) =
   close_out oc;
   Sys.rename tmp path
 
+(* This machine's context for run datafiles: comparisons across
+   different jobs/cpus/ocaml are noise, and Datafile.host_mismatch
+   wants the facts recorded at run time. *)
+let datafile_host () =
+  Some
+    {
+      Datafile.jobs = Parallel.jobs ();
+      cpus = Domain.recommended_domain_count ();
+      ocaml = Sys.ocaml_version;
+    }
+
+let datafile_mismatches ms =
+  Array.map
+    (fun (m : Sweep.Checkpoint.mismatch) ->
+      { Datafile.pattern = m.pattern; got = m.got; want = m.want })
+    ms
+
 (* Resolve the verifier policy, refusing [`Fast] when the certificate
    would be unsound (non-exhaustive generation) and reporting what
    [`Auto] picked. *)
@@ -339,12 +356,49 @@ let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resu
       Sweep.Oracle_cache.close cache;
       let report = Filename.concat dir "report.txt" in
       write_report report ~identity o;
+      (* The run as a datafile: verdicts + timings + machine context in
+         the one schema the gate and `report datafile-diff` consume.
+         report.txt stays the canonical byte-identity artifact; the
+         datafile deliberately carries what that report omits. *)
+      let datafile = Filename.concat dir "datafile.json" in
+      Datafile.write ~path:datafile
+        {
+          Datafile.rev = Datafile.git_rev ();
+          date = Datafile.timestamp ();
+          seed = None;
+          config = identity;
+          host = datafile_host ();
+          rows =
+            [
+              {
+                Datafile.kind = "sweep";
+                func = fname;
+                repr = t.tname;
+                mode = mode_s;
+                identity;
+                tables_hash = G.tables_fingerprint g;
+                span = Some { Datafile.lo = 0; hi = n; n_items = n; chunk_size = chunk };
+                metrics =
+                  [
+                    ("sweep.wall_seconds", o.stats.wall_seconds);
+                    ("sweep.retry_attempts", float_of_int o.stats.retry_attempts);
+                    ("sweep.cache_hits", float_of_int o.stats.cache_hits);
+                    ("sweep.cache_misses", float_of_int o.stats.cache_misses);
+                    ("sweep.fast", float_of_int (Sweep.Verify.fast counters));
+                    ("sweep.escalated", float_of_int (Sweep.Verify.escalated counters));
+                  ];
+                mismatches = datafile_mismatches o.mismatches;
+                quarantined =
+                  Array.of_list (List.map (fun (_ci, lo, hi, msg) -> (lo, hi, msg)) o.quarantined);
+              };
+            ];
+        };
       let nmis = Array.length o.mismatches and nq = List.length o.quarantined in
       Printf.printf
         "sweep done: %d points, %d mismatches, %d quarantined chunks, %d retries, cache %d hit / \
-         %d miss, verifier %d fast / %d escalated\nreport: %s\n%!"
+         %d miss, verifier %d fast / %d escalated\nreport: %s\ndatafile: %s\n%!"
         n nmis nq o.stats.retry_attempts o.stats.cache_hits o.stats.cache_misses
-        (Sweep.Verify.fast counters) (Sweep.Verify.escalated counters) report;
+        (Sweep.Verify.fast counters) (Sweep.Verify.escalated counters) report datafile;
       List.iter
         (fun (ci, lo, hi, msg) ->
           Printf.printf "  QUARANTINED chunk %d (points %d..%d): %s\n%!" ci lo (hi - 1) msg)
@@ -375,7 +429,7 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
     Printf.sprintf "rlibm-campaign v1 target=%s func=%s mode=%s bits=%d stride=%d quality=%s"
       t.tname fname mode_s T.bits stride (quality_name quality)
   in
-  let finish (o : Campaign.outcome) =
+  let finish ~tables_hash (o : Campaign.outcome) =
     let m = o.merged in
     let quarantined_items =
       Array.fold_left (fun a (lo, hi, _) -> a + (hi - lo)) 0 m.m_quarantined
@@ -393,7 +447,30 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
       }
     in
     Rlibm.Stats.pp_campaign Format.std_formatter st;
-    Printf.printf "report: %s\n%!" o.report_path;
+    (* The merged verdict as a datafile: the row is exactly
+       Report.row_of_merged (so Datafile.campaign_text over it equals
+       report.txt), plus the function/target/tables identity the binary
+       shard reports don't carry. *)
+    let datafile = Filename.concat dir "datafile.json" in
+    Datafile.write ~path:datafile
+      {
+        Datafile.rev = Datafile.git_rev ();
+        date = Datafile.timestamp ();
+        seed = None;
+        config = identity;
+        host = datafile_host ();
+        rows =
+          [
+            {
+              (Campaign.Report.row_of_merged m) with
+              Datafile.func = fname;
+              repr = t.tname;
+              mode = mode_s;
+              tables_hash;
+            };
+          ];
+      };
+    Printf.printf "report: %s\ndatafile: %s\n%!" o.report_path datafile;
     exit
       (if Array.length m.m_quarantined > 0 then 2
        else if Array.length m.m_mismatches > 0 then 1
@@ -404,7 +481,9 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
     | Error msg ->
         prerr_endline msg;
         exit 3
-    | Ok o -> finish o
+    (* Merge-only runs nothing, so there are no tables to fingerprint:
+       the hash stays empty rather than inventing one. *)
+    | Ok o -> finish ~tables_hash:"" o
   end
   else begin
     let g = Funcs.Libm.get ~quality t fname in
@@ -457,11 +536,34 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
                 prerr_endline msg;
                 exit 3
             | Ok r ->
+                (* A per-shard datafile next to the binary shard report:
+                   shard datafiles from any subset of workers weld into
+                   the campaign verdict through Datafile.merge, which
+                   refuses overlaps, gaps and identity drift. *)
+                let sdf = Filename.concat (Campaign.Plan.shard_dir dir s) "datafile.json" in
+                Datafile.write ~path:sdf
+                  {
+                    Datafile.rev = Datafile.git_rev ();
+                    date = Datafile.timestamp ();
+                    seed = None;
+                    config = identity;
+                    host = datafile_host ();
+                    rows =
+                      [
+                        {
+                          (Campaign.Report.row_of_report r) with
+                          Datafile.func = fname;
+                          repr = t.tname;
+                          mode = mode_s;
+                          tables_hash = G.tables_fingerprint g;
+                        };
+                      ];
+                  };
                 Printf.printf
                   "shard %d done: [%d,%d), %d mismatches, %d quarantined ranges, %d fast / %d \
-                   escalated\n%!"
+                   escalated\ndatafile: %s\n%!"
                   s r.lo r.hi (Array.length r.mismatches) (Array.length r.quarantined) r.fast
-                  r.escalated;
+                  r.escalated sdf;
                 exit 0))
     | None -> (
         let exec = if workers <= 0 then Campaign.In_process else Campaign.Fork workers in
@@ -472,7 +574,7 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
         | Error msg ->
             prerr_endline msg;
             exit 3
-        | Ok o -> finish o)
+        | Ok o -> finish ~tables_hash:(G.tables_fingerprint g) o)
   end
 
 let table1_cmd =

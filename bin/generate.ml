@@ -36,7 +36,7 @@ let targets_for tname mode all_modes =
 let cfg_of_lp_warm lp_warm =
   if lp_warm then Some { Rlibm.Config.default with lp_warm = true } else None
 
-let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
+let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats ~emit name =
   let t0 = Unix.gettimeofday () in
   match Funcs.Libm.get ~quality ?cfg t name with
   | exception Invalid_argument msg -> Printf.printf "%-7s %-9s SKIPPED: %s\n%!" name (label t) msg
@@ -48,6 +48,7 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
           Printf.printf "%-7s %-9s %-10s %6.1f %9d %7d %7d  2^%-3d %4d %4d\n%!" name (label t)
             c.cname wall s.n_inputs s.n_special c.n_constraints c.split_bits c.degree c.n_terms)
         s.per_component;
+      emit name t wall g;
       if pass_stats then begin
         List.iter (Format.printf "%a" Rlibm.Stats.pp_pass) s.Rlibm.Stats.passes;
         (match s.Rlibm.Stats.oracle_cache with
@@ -67,9 +68,42 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats name =
       end
   | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name (label t) msg
 
-let stats jobs pass_stats lp_warm targets mode all_modes quality fns =
+let stats jobs pass_stats lp_warm targets mode all_modes quality fns datafile =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let cfg = cfg_of_lp_warm lp_warm in
+  let rows = ref [] in
+  (* One "generate" row per successfully generated (function, target):
+     Table 3 numbers plus the tables fingerprint, so a later run can
+     prove whether a substrate change moved the generated artifact. *)
+  let emit name (t : Funcs.Specs.target) wall (g : Rlibm.Generator.generated) =
+    if datafile <> None then begin
+      let s = g.Rlibm.Generator.stats in
+      let sum f =
+        Array.fold_left (fun a (c : Rlibm.Stats.component) -> a + f c) 0 s.per_component
+      in
+      rows :=
+        {
+          Datafile.kind = "generate";
+          func = name;
+          repr = t.tname;
+          mode = Fp.Rounding_mode.to_string t.mode;
+          identity = "";
+          tables_hash = Rlibm.Generator.tables_fingerprint g;
+          span = None;
+          metrics =
+            [
+              ("generate.wall_seconds", wall);
+              ("generate.inputs", float_of_int s.n_inputs);
+              ("generate.special", float_of_int s.n_special);
+              ("generate.constraints", float_of_int (sum (fun c -> c.n_constraints)));
+              ("generate.terms", float_of_int (sum (fun c -> c.n_terms)));
+            ];
+          mismatches = [||];
+          quarantined = [||];
+        }
+        :: !rows
+    end
+  in
   Printf.printf "%-7s %-9s %-10s %6s %9s %7s %7s  %-5s %4s %4s\n" "func" "target" "component"
     "time_s" "inputs" "special" "reduced" "polys" "deg" "terms";
   List.iter
@@ -77,9 +111,31 @@ let stats jobs pass_stats lp_warm targets mode all_modes quality fns =
       List.iter
         (fun t ->
           let names = if fns = [] then names_for t else fns in
-          List.iter (run_one t quality ?cfg ~pass_stats) names)
+          List.iter (run_one t quality ?cfg ~pass_stats ~emit) names)
         (targets_for tname mode all_modes))
-    targets
+    targets;
+  match datafile with
+  | None -> ()
+  | Some path ->
+      Datafile.write ~path
+        {
+          Datafile.rev = Datafile.git_rev ();
+          date = Datafile.timestamp ();
+          seed = None;
+          config =
+            Printf.sprintf "generate stats quality=%s%s"
+              (match quality with Funcs.Libm.Quick -> "quick" | Full -> "full" | Draft -> "draft")
+              (if lp_warm then " lp-warm" else "");
+          host =
+            Some
+              {
+                Datafile.jobs = Parallel.jobs ();
+                cpus = Domain.recommended_domain_count ();
+                ocaml = Sys.ocaml_version;
+              };
+          rows = List.rev !rows;
+        };
+      Printf.printf "datafile: %s (%d rows)\n" path (List.length !rows)
 
 let jobs_term =
   Arg.(value & opt (some int) None
@@ -126,6 +182,12 @@ let quality_term =
 let funcs_term =
   Arg.(value & opt_all string [] & info [ "f"; "function" ] ~doc:"Generate only this function.")
 
+let datafile_term =
+  Arg.(value & opt (some string) None
+       & info [ "datafile" ] ~docv:"PATH"
+           ~doc:"Write the generation statistics (one row per function × target, with the \
+                 tables fingerprint) as a schema-v$(b,1) datafile to $(docv).")
+
 let lp_warm_term =
   Arg.(value & flag
        & info [ "lp-warm" ]
@@ -138,7 +200,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
     Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ mode_term
-          $ all_modes_term $ quality_term $ funcs_term)
+          $ all_modes_term $ quality_term $ funcs_term $ datafile_term)
 
 (* Bit-exact dump of the generated tables: every coefficient and scheme
    word as hex bits.  Diffing two dumps proves (or refutes) that a
@@ -195,5 +257,5 @@ let () =
        (Cmd.group
           ~default:
             Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term
-                  $ mode_term $ all_modes_term $ quality_term $ funcs_term)
+                  $ mode_term $ all_modes_term $ quality_term $ funcs_term $ datafile_term)
           info [ stats_cmd; dump_cmd ]))

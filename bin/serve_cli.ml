@@ -26,7 +26,7 @@ let quality_of_name = function
   | "full" -> Some Funcs.Libm.Full
   | _ -> None
 
-let run jobs tname fname mname mixname n batches seed check qname =
+let run jobs tname fname mname mixname n batches seed check qname datafile =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let die2 msg =
     prerr_endline msg;
@@ -67,6 +67,49 @@ let run jobs tname fname mname mixname n batches seed check qname =
   Printf.printf "calls_per_sec: %.0f\n" slo.R.calls_per_sec;
   Printf.printf "p50_ns: %.1f\n" slo.R.p50_ns;
   Printf.printf "p99_ns: %.1f\n" slo.R.p99_ns;
+  (match datafile with
+  | None -> ()
+  | Some path ->
+      (* Libm.get is memoized, so re-fetching the generated tables to
+         fingerprint them is free — plan_opt already generated them. *)
+      let g = Funcs.Libm.get ~quality t fname in
+      Datafile.write ~path
+        {
+          Datafile.rev = Datafile.git_rev ();
+          date = Datafile.timestamp ();
+          seed = Some seed;
+          config =
+            Printf.sprintf "serve %s mix, n=%d batches=%d quality=%s" (W.mix_to_string mix) n
+              batches qname;
+          host =
+            Some
+              {
+                Datafile.jobs = (match jobs with Some j -> j | None -> Parallel.jobs ());
+                cpus = Domain.recommended_domain_count ();
+                ocaml = Sys.ocaml_version;
+              };
+          rows =
+            [
+              {
+                Datafile.kind = "serve";
+                func = fname;
+                repr = tname;
+                mode = Fp.Rounding_mode.to_string mode;
+                identity = "";
+                tables_hash = Rlibm.Generator.tables_fingerprint g;
+                span = None;
+                metrics =
+                  [
+                    ("serve.calls_per_sec", slo.R.calls_per_sec);
+                    ("serve.p50_ns", slo.R.p50_ns);
+                    ("serve.p99_ns", slo.R.p99_ns);
+                  ];
+                mismatches = [||];
+                quarantined = [||];
+              };
+            ];
+        };
+      Printf.printf "datafile: %s\n" path);
   if check then begin
     match R.verify p src with
     | None -> Printf.printf "bit-identity: ok (%d patterns, kernel = scalar)\n" n
@@ -104,10 +147,17 @@ let check =
 let qname =
   Arg.(value & opt string "full" & info [ "quality" ] ~doc:"Generation quality (draft|quick|full).")
 
+let datafile =
+  Arg.(value & opt (some string) None
+       & info [ "datafile" ] ~docv:"PATH"
+           ~doc:"Write the run (throughput/latency metrics plus the tables fingerprint the \
+                 kernels certify) as a schema-v$(b,1) datafile to $(docv).")
+
 let () =
   let cmd =
     Cmd.v
       (Cmd.info "serve_cli" ~doc:"Replay workload mixes through the zero-allocation serving kernels")
-      Term.(const run $ jobs $ tname $ fname $ mname $ mixname $ n $ batches $ seed $ check $ qname)
+      Term.(const run $ jobs $ tname $ fname $ mname $ mixname $ n $ batches $ seed $ check $ qname
+            $ datafile)
   in
   exit (Cmd.eval cmd)

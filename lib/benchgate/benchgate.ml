@@ -1,163 +1,25 @@
-(* Bench-regression gate: compare two BENCH_<rev>.json files (the flat
-   string->number metric maps bench/main.ml writes) and flag metrics
-   that got worse by more than a threshold.
+(* Bench-regression gate, now a thin facade over lib/datafile.
 
-   The gate only *fails* on the generator-facing and serving-facing
-   families — `gen.*` (end-to-end generation wall-clock), `lp.*` (LP
-   kernel work), `round.*`, `sweep.*`, `campaign.*` and `serve.*` (the
-   zero-allocation serving path) — because the exact-arithmetic
-   microbenchmark families are reported with their own speedup metrics
-   and are noisier on shared CI runners.  Everything common to both
-   files is still printed.
+   The polarity rules (direction_of), the gated metric families, and
+   the comparison semantics (zero-baseline growth, collapsed speedups,
+   vanished gated metrics) moved verbatim into Datafile.diff so every
+   datafile consumer shares them; this module re-exports them under
+   the historical names to keep bin/bench_gate and the tests stable.
 
-   The file's top-level header (rev, date, and since PR 7 the machine
-   context: jobs, cpus, ocaml version) is parsed separately
-   ([parse_header]) and only *printed* — two runs on different machines
-   or job counts are not comparable, but that's the operator's call, not
-   the gate's. *)
+   The legacy scanners over pre-schema BENCH_<rev>.json files
+   (parse_metrics / parse_header) live in Datafile.Legacy — committed
+   baselines must stay readable forever — and are re-exported here
+   unchanged, including their exact error messages. *)
 
-type direction =
-  | Lower_better  (* times: *_ns, *_s, and work counts *)
-  | Higher_better  (* *speedup* ratios *)
+type direction = Datafile.direction = Lower_better | Higher_better
 
-(* Infer the improvement direction from the metric name, matching the
-   naming convention of bench/main.ml: times end in _ns/_s, ratios
-   contain "speedup", throughputs contain "per_sec", percentages of a
-   good thing (fast-path share, report agreement) end in "_pct";
-   everything else (pivot/solve/fallback counts) is work and should not
-   grow. *)
-let direction_of key =
-  let contains sub s =
-    let n = String.length sub and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-    go 0
-  in
-  if contains "speedup" key || contains "per_sec" key || contains "_pct" key then Higher_better
-  else Lower_better
+let direction_of = Datafile.direction_of
+let gated = Datafile.gated
 
-let gated key =
-  let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
-  pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep." || pfx "campaign." || pfx "serve."
+exception Parse_error = Datafile.Parse_error
 
-(* ------------------------------------------------------------------ *)
-(* Parsing.  The bench JSON is machine-written with a fixed shape       *)
-(* ({ "rev", "date", "metrics": { "k": 1.23, ... } }), so a small       *)
-(* scanner over the "metrics" object is enough — no JSON dependency.    *)
-(* ------------------------------------------------------------------ *)
-
-exception Parse_error of string
-
-let parse_metrics (s : string) : (string * float) list =
-  let n = String.length s in
-  let fail msg = raise (Parse_error msg) in
-  let find_sub sub from =
-    let m = String.length sub in
-    let rec go i =
-      if i + m > n then fail (Printf.sprintf "missing %S" sub)
-      else if String.sub s i m = sub then i
-      else go (i + 1)
-    in
-    go from
-  in
-  let skip_ws i =
-    let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then go (i + 1) else i in
-    go i
-  in
-  (* position just after the '{' opening the metrics object *)
-  let start =
-    let k = find_sub "\"metrics\"" 0 in
-    let c = skip_ws (find_sub ":" k + 1) in
-    if c >= n || s.[c] <> '{' then fail "metrics is not an object";
-    c + 1
-  in
-  let parse_string i =
-    if i >= n || s.[i] <> '"' then fail "expected string";
-    let rec go j = if j >= n then fail "unterminated string" else if s.[j] = '"' then j else go (j + 1) in
-    let e = go (i + 1) in
-    (String.sub s (i + 1) (e - i - 1), e + 1)
-  in
-  (* Number parse failures name the metric they sit under: a malformed
-     value in a machine-written file is almost always one bad metric
-     (e.g. a nan that slipped past the writer), and "expected number"
-     with no key means grepping the whole file by hand. *)
-  let parse_number ~key i =
-    let isnum c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
-    let rec go j = if j < n && isnum s.[j] then go (j + 1) else j in
-    let e = go i in
-    if e = i then
-      fail
-        (Printf.sprintf "metric %S: expected a number, found %s" key
-           (if i >= n then "end of file" else Printf.sprintf "%C" s.[i]));
-    let lit = String.sub s i (e - i) in
-    match float_of_string_opt lit with
-    | Some v -> (v, e)
-    | None -> fail (Printf.sprintf "metric %S: malformed number %S" key lit)
-  in
-  let rec entries i acc =
-    let i = skip_ws i in
-    if i >= n then fail "unterminated metrics object"
-    else if s.[i] = '}' then List.rev acc
-    else if s.[i] = ',' then entries (i + 1) acc
-    else begin
-      let key, i = parse_string i in
-      let i = skip_ws i in
-      if i >= n || s.[i] <> ':' then fail (Printf.sprintf "metric %S: expected ':'" key);
-      let v, i = parse_number ~key (skip_ws (i + 1)) in
-      entries i ((key, v) :: acc)
-    end
-  in
-  entries start []
-
-(* Top-level scalar header fields: everything before the "metrics" key,
-   in file order.  String values lose their quotes; numbers keep their
-   literal text (the header is display-only, never compared). *)
-let parse_header (s : string) : (string * string) list =
-  let n = String.length s in
-  let fail msg = raise (Parse_error msg) in
-  let skip_ws i =
-    let rec go i =
-      if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then go (i + 1) else i
-    in
-    go i
-  in
-  let parse_string i =
-    if i >= n || s.[i] <> '"' then fail "expected string";
-    let rec go j = if j >= n then fail "unterminated string" else if s.[j] = '"' then j else go (j + 1) in
-    let e = go (i + 1) in
-    (String.sub s (i + 1) (e - i - 1), e + 1)
-  in
-  let scalar i =
-    if i < n && s.[i] = '"' then parse_string i
-    else begin
-      let isnum c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
-      let rec go j = if j < n && isnum s.[j] then go (j + 1) else j in
-      let e = go i in
-      if e = i then fail "header: expected a scalar value";
-      (String.sub s i (e - i), e)
-    end
-  in
-  let start =
-    let i = skip_ws 0 in
-    if i >= n || s.[i] <> '{' then fail "not a JSON object";
-    i + 1
-  in
-  let rec entries i acc =
-    let i = skip_ws i in
-    if i >= n then fail "unterminated header"
-    else if s.[i] = '}' then List.rev acc
-    else if s.[i] = ',' then entries (i + 1) acc
-    else begin
-      let key, i = parse_string i in
-      if key = "metrics" then List.rev acc
-      else begin
-        let i = skip_ws i in
-        if i >= n || s.[i] <> ':' then fail (Printf.sprintf "header %S: expected ':'" key);
-        let v, i = scalar (skip_ws (i + 1)) in
-        entries i ((key, v) :: acc)
-      end
-    end
-  in
-  entries start []
+let parse_metrics = Datafile.Legacy.parse_metrics
+let parse_header = Datafile.Legacy.parse_header
 
 let read_file path =
   let ic = open_in_bin path in
@@ -169,100 +31,15 @@ let read_file path =
 let parse_file path = parse_metrics (read_file path)
 let parse_header_file path = parse_header (read_file path)
 
-(* ------------------------------------------------------------------ *)
-(* Comparison.                                                         *)
-(* ------------------------------------------------------------------ *)
-
-type verdict = {
+type verdict = Datafile.verdict = {
   key : string;
-  base : float option;  (* None: metric is new in the current run *)
-  curr : float option;  (* None: metric vanished from the current run *)
-  ratio : float;  (* curr/base for Lower_better, base/curr for Higher_better: >1 = worse *)
-  gated : bool;  (* counts toward the exit code *)
-  regressed : bool;  (* gated, and worse than the threshold (or vanished) *)
+  base : float option;
+  curr : float option;
+  ratio : float;
+  gated : bool;
+  regressed : bool;
 }
 
-(* Worseness ratio with the degenerate baselines handled.  A gated work
-   counter (fallbacks, pivots) legitimately sits at 0.0 until a change
-   makes it grow — growth from a zero baseline is exactly the regression
-   such a metric exists to catch, so it maps to [infinity], not to the
-   old silently-passing 1.0.  Symmetrically, a speedup that collapses to
-   zero (or a nonsense negative estimate) is a regression however large
-   the baseline was. *)
-let worse_ratio ~dir ~base ~curr =
-  match dir with
-  | Lower_better ->
-      if base > 0.0 then curr /. base
-      else if curr > 0.0 then infinity (* growth from a zero baseline *)
-      else 1.0
-  | Higher_better ->
-      if curr > 0.0 then base /. curr
-      else if base > 0.0 then infinity (* speedup collapsed to <= 0 *)
-      else 1.0
-
-(* [compare_metrics ~threshold base curr] pairs the two runs up, in
-   baseline order.  A *gated* metric present in the baseline but absent
-   from the current run is a failure, not a skip: renaming or dropping a
-   gated benchmark would otherwise un-gate it silently.  Non-gated
-   vanished metrics and metrics new in the current run are reported as
-   informational. *)
-let compare_metrics ?(threshold = 0.25) (base : (string * float) list)
-    (curr : (string * float) list) : verdict list =
-  let paired =
-    List.map
-      (fun (key, b) ->
-        let g = gated key in
-        match List.assoc_opt key curr with
-        | None ->
-            (* Vanished: only a failure where the gate depended on it. *)
-            { key; base = Some b; curr = None; ratio = infinity; gated = g; regressed = g }
-        | Some c ->
-            let ratio = worse_ratio ~dir:(direction_of key) ~base:b ~curr:c in
-            { key; base = Some b; curr = Some c; ratio; gated = g; regressed = g && ratio > 1.0 +. threshold })
-      base
-  in
-  let fresh =
-    List.filter_map
-      (fun (key, c) ->
-        if List.mem_assoc key base then None
-        else
-          (* New metric: no baseline to judge against; it becomes gated
-             once this run's JSON is committed as the next baseline. *)
-          Some { key; base = None; curr = Some c; ratio = 1.0; gated = gated key; regressed = false })
-      curr
-  in
-  paired @ fresh
-
-let any_regression verdicts = List.exists (fun v -> v.regressed) verdicts
-
-let pp_report fmt ~threshold verdicts =
-  Format.fprintf fmt "%-45s %12s %12s %8s  %s@." "metric" "baseline" "current" "ratio" "status";
-  List.iter
-    (fun v ->
-      let num = function Some x -> Printf.sprintf "%12.3f" x | None -> Printf.sprintf "%12s" "-" in
-      let status =
-        match (v.base, v.curr) with
-        | _, None when v.regressed -> "MISSING (gated metric vanished — renamed or dropped?)"
-        | _, None -> "missing (info)"
-        | None, _ -> "new (no baseline yet)"
-        | Some _, Some _ ->
-            if v.regressed then "REGRESSED"
-            else if not v.gated then "info"
-            else if v.ratio > 1.0 then "worse (within threshold)"
-            else "ok"
-      in
-      Format.fprintf fmt "%-45s %s %s %7.2fx  %s@." v.key (num v.base) (num v.curr) v.ratio status)
-    verdicts;
-  let bad = List.filter (fun v -> v.regressed) verdicts in
-  if bad = [] then
-    Format.fprintf fmt "gate: OK (%d metrics compared, threshold %.0f%%)@." (List.length verdicts)
-      (100.0 *. threshold)
-  else begin
-    let missing, slow = List.partition (fun v -> v.curr = None) bad in
-    if slow <> [] then
-      Format.fprintf fmt "gate: FAIL — %d gated metric(s) regressed more than %.0f%%@."
-        (List.length slow) (100.0 *. threshold);
-    if missing <> [] then
-      Format.fprintf fmt "gate: FAIL — %d gated metric(s) missing from the current run@."
-        (List.length missing)
-  end
+let compare_metrics = Datafile.diff_metrics
+let any_regression = Datafile.any_regression
+let pp_report = Datafile.pp_diff

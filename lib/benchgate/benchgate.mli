@@ -1,12 +1,14 @@
-(** Bench-regression gate over the BENCH_<rev>.json files written by
-    [bench/main.exe --json]: pair up the metrics common to a baseline
-    and a current run, and fail when a [gen.*], [lp.*] or [round.*]
-    metric got worse by more than a threshold (default 25%).  Other metric
-    families are reported but informational — the exact-arithmetic
-    microbenchmarks carry their own speedup metrics and are noisier on
-    shared runners. *)
+(** Bench-regression gate — a thin facade over {!Datafile}.
 
-type direction = Lower_better | Higher_better
+    The comparison semantics (polarity by naming convention, gated
+    metric families, zero-baseline growth, collapsed speedups, vanished
+    gated metrics) live in [Datafile.diff_metrics]; this module
+    re-exports them under their historical names so existing callers
+    and tests keep working.  The legacy scanners over pre-schema
+    BENCH_<rev>.json files live in [Datafile.Legacy] for the same
+    reason: committed baselines must stay readable forever. *)
+
+type direction = Datafile.direction = Lower_better | Higher_better
 
 (** Improvement direction by naming convention: ["speedup"] anywhere in
     the key means higher is better; everything else (times [_ns]/[_s],
@@ -19,12 +21,13 @@ val gated : string -> bool
 
 exception Parse_error of string
 
-(** Extract the flat ["metrics"] object of a bench JSON document.
+(** Extract the flat ["metrics"] object of a legacy bench JSON document.
     @raise Parse_error when the document does not have the shape
-    [bench/main.ml] writes; value errors name the offending metric key. *)
+    [bench/main.ml] used to write; value errors name the offending
+    metric key. *)
 val parse_metrics : string -> (string * float) list
 
-(** [parse_file path] reads and parses one BENCH JSON file. *)
+(** [parse_file path] reads and parses one legacy BENCH JSON file. *)
 val parse_file : string -> (string * float) list
 
 (** The top-level scalar header fields preceding ["metrics"], in file
@@ -37,7 +40,7 @@ val parse_header : string -> (string * string) list
 (** [parse_header_file path] is {!parse_header} over a file. *)
 val parse_header_file : string -> (string * string) list
 
-type verdict = {
+type verdict = Datafile.verdict = {
   key : string;
   base : float option;  (** [None]: metric is new in the current run *)
   curr : float option;  (** [None]: metric vanished from the current run *)
@@ -53,7 +56,8 @@ type verdict = {
     run follow, informational).  A gated metric that vanished from the
     current run is a regression — renaming or dropping a gated benchmark
     must not un-gate it silently; so is growth of a gated zero-baseline
-    work counter or a gated speedup collapsing to zero. *)
+    work counter or a gated speedup collapsing to zero.
+    Alias of [Datafile.diff_metrics]. *)
 val compare_metrics :
   ?threshold:float -> (string * float) list -> (string * float) list -> verdict list
 

@@ -182,49 +182,92 @@ type merged = {
   m_busy_seconds : float;  (* sum of shard wall clocks *)
 }
 
+(* A shard report as a datafile row: the campaign's shard verdicts are
+   ordinary sharded rows under the one schema, and the paranoid merge
+   (identity drift, geometry drift, overlap, gap — all refused) lives in
+   Datafile.merge_rows where multi-shard bench runs share it. *)
+let row_of_report (r : t) : Datafile.row =
+  {
+    Datafile.kind = "campaign";
+    func = "";
+    repr = "";
+    mode = "";
+    identity = r.identity;
+    tables_hash = "";
+    span = Some { Datafile.lo = r.lo; hi = r.hi; n_items = r.n_items; chunk_size = r.chunk_size };
+    metrics =
+      [
+        ("fast", float_of_int r.fast);
+        ("escalated", float_of_int r.escalated);
+        ("busy_seconds", r.wall_seconds);
+      ];
+    mismatches =
+      Array.map
+        (fun (m : Sweep.Checkpoint.mismatch) ->
+          { Datafile.pattern = m.pattern; got = m.got; want = m.want })
+        r.mismatches;
+    quarantined = r.quarantined;
+  }
+
 (** Combine shard reports into one campaign verdict.  Order-insensitive;
-    refuses identity/geometry disagreement, overlaps and gaps. *)
+    refuses identity/geometry disagreement, overlaps and gaps — the
+    checks (and the ascending-span concatenation order the canonical
+    text depends on) are Datafile.merge_rows'. *)
 let merge (reports : t list) : (merged, string) result =
   match reports with
   | [] -> Error "campaign merge: no shard reports"
-  | first :: _ -> (
-      let sorted = List.stable_sort (fun (a : t) b -> compare (a.lo, a.hi) (b.lo, b.hi)) reports in
-      let err = ref None in
-      let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
-      List.iter
-        (fun (r : t) ->
-          if r.identity <> first.identity then
-            fail "campaign merge: shard [%d,%d) belongs to a different campaign\n  shard:    %s\n  campaign: %s"
-              r.lo r.hi r.identity first.identity
-          else if r.n_items <> first.n_items || r.chunk_size <> first.chunk_size then
-            fail "campaign merge: shard [%d,%d) disagrees on geometry (%d items / %d per chunk, want %d / %d)"
-              r.lo r.hi r.n_items r.chunk_size first.n_items first.chunk_size)
-        sorted;
-      let cursor = ref 0 in
-      List.iter
-        (fun (r : t) ->
-          if r.lo < !cursor then fail "campaign merge: shard ranges overlap at item %d" r.lo
-          else if r.lo > !cursor then
-            fail "campaign merge: missing shard range [%d,%d)" !cursor r.lo;
-          cursor := Stdlib.max !cursor r.hi)
-        sorted;
-      if !err = None && !cursor < first.n_items then
-        fail "campaign merge: missing shard range [%d,%d)" !cursor first.n_items;
-      match !err with
-      | Some m -> Error m
-      | None ->
+  | _ -> (
+      match Datafile.merge_rows (List.map row_of_report reports) with
+      | Error m -> Error m
+      | Ok row ->
+          let span = Option.get row.Datafile.span in
+          let metric k =
+            match List.assoc_opt k row.Datafile.metrics with Some v -> v | None -> 0.0
+          in
           Ok
             {
-              m_identity = first.identity;
-              m_n_items = first.n_items;
-              m_chunk_size = first.chunk_size;
-              m_n_shards = List.length sorted;
-              m_mismatches = Array.concat (List.map (fun (r : t) -> r.mismatches) sorted);
-              m_quarantined = Array.concat (List.map (fun (r : t) -> r.quarantined) sorted);
-              m_fast = List.fold_left (fun a (r : t) -> a + r.fast) 0 sorted;
-              m_escalated = List.fold_left (fun a (r : t) -> a + r.escalated) 0 sorted;
-              m_busy_seconds = List.fold_left (fun a (r : t) -> a +. r.wall_seconds) 0.0 sorted;
+              m_identity = row.Datafile.identity;
+              m_n_items = span.Datafile.n_items;
+              m_chunk_size = span.Datafile.chunk_size;
+              m_n_shards = List.length reports;
+              m_mismatches =
+                Array.map
+                  (fun (m : Datafile.mismatch) ->
+                    { Sweep.Checkpoint.pattern = m.pattern; got = m.got; want = m.want })
+                  row.Datafile.mismatches;
+              m_quarantined = row.Datafile.quarantined;
+              m_fast = int_of_float (metric "fast");
+              m_escalated = int_of_float (metric "escalated");
+              m_busy_seconds = metric "busy_seconds";
             })
+
+(* The merged verdict as a datafile row (span [0, n_items), metrics
+   carrying the verifier counters) — what bin/check campaign persists;
+   Datafile.campaign_text over this row reproduces [text] byte for
+   byte. *)
+let row_of_merged (m : merged) : Datafile.row =
+  {
+    Datafile.kind = "campaign";
+    func = "";
+    repr = "";
+    mode = "";
+    identity = m.m_identity;
+    tables_hash = "";
+    span =
+      Some { Datafile.lo = 0; hi = m.m_n_items; n_items = m.m_n_items; chunk_size = m.m_chunk_size };
+    metrics =
+      [
+        ("fast", float_of_int m.m_fast);
+        ("escalated", float_of_int m.m_escalated);
+        ("busy_seconds", m.m_busy_seconds);
+      ];
+    mismatches =
+      Array.map
+        (fun (x : Sweep.Checkpoint.mismatch) ->
+          { Datafile.pattern = x.pattern; got = x.got; want = x.want })
+        m.m_mismatches;
+    quarantined = m.m_quarantined;
+  }
 
 (* Canonical campaign report text.  Deliberately free of timings, shard
    counts and verifier counters: a campaign must reproduce this byte for

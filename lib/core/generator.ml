@@ -205,6 +205,41 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
 
 (* ------------------------------------------------------------------ *)
 
+(* Stable fingerprint of the run-time tables: terms, splitting schemes
+   and coefficient bit images of every piece, FNV-1a hashed in a fixed
+   traversal order (component, then neg/pos group).  Coefficients hash
+   by their 64-bit float image so -0.0 vs 0.0 and NaN payloads count —
+   "same fingerprint" must mean "bit-identical tables", because run
+   datafiles carry this to tie a sweep/campaign/serve verdict to the
+   exact tables it certifies. *)
+let tables_fingerprint (g : generated) =
+  let h = ref 0x0cbf29ce84222325 in
+  let mix v = h := (!h lxor (v land 0xff)) * 0x100000001b3 in
+  let add_int v =
+    for i = 0 to 7 do
+      mix (v asr (8 * i))
+    done
+  in
+  let add_i64 v = add_int (Int64.to_int v) in
+  Array.iter
+    (fun (pw : Piecewise.t) ->
+      add_int (Array.length pw.terms);
+      Array.iter add_int pw.terms;
+      List.iter
+        (fun grp ->
+          match grp with
+          | None -> add_int (-1)
+          | Some (grp : Piecewise.group) ->
+              add_int grp.scheme.Splitting.nbits;
+              add_int grp.scheme.Splitting.shift;
+              add_i64 grp.scheme.Splitting.lo_bits;
+              add_i64 grp.scheme.Splitting.hi_bits;
+              add_int (Array.length grp.coeffs);
+              Array.iter (fun c -> add_i64 (Int64.bits_of_float c)) grp.coeffs)
+        [ pw.neg; pw.pos ])
+    g.pieces;
+  Printf.sprintf "fnv1a:%016x" (!h land max_int)
+
 (* Per-pattern result of the enumeration pass: pure in the pattern, so
    the pass fans out over domains; everything order-sensitive (interval
    intersection failures, the recorded input list) happens in the

@@ -36,6 +36,14 @@ val eval_double : generated -> float -> float
     every worker domain. *)
 val compile : generated -> int -> int
 
+(** Stable fingerprint of the generated tables — the polynomial terms,
+    splitting schemes and coefficient bit patterns of every piece, FNV-1a
+    hashed in a fixed traversal order and rendered as ["fnv1a:<hex>"].
+    Two generations agree here exactly when they produced bit-identical
+    run-time tables, so run artifacts (datafiles) can carry it to prove
+    which tables a sweep/campaign/serve result certifies. *)
+val tables_fingerprint : generated -> string
+
 (** [generate ?cfg spec ~patterns] builds the function or explains why
     it cannot (empty common interval, inadequate range reduction, no
     polynomial within the split budget, or validation failure). *)
