@@ -1010,6 +1010,58 @@ let serve_section () =
             kern (kern /. boxed);
           record "serve.f32_log2_uniform_vs_boxed_speedup" (kern /. boxed))
 
+(* ------------------------------------------------------------------ *)
+(* PROG: the progressive-polynomial Pareto sweep (RLIBM-PROG).  One     *)
+(* generation with certificates, then the serving prefix forced to each *)
+(* strict degree k (k=0 = the full-polynomial kernel baseline): the     *)
+(* cost–accuracy frontier is (k, fast-tier share, p50/p99 ns/call).     *)
+(* ------------------------------------------------------------------ *)
+
+let prog_section () =
+  pr_header "PROG: progressive prefix tiers (bfloat16 log2, uniform mix, 65536-call batches)";
+  let t = Funcs.Specs.bfloat16 in
+  let cfg = { Rlibm.Config.default with progressive = true } in
+  match Funcs.Libm.get ~quality ~cfg t "log2" with
+  | exception Failure msg -> Printf.printf "skipped (%s)\n" msg
+  | g -> (
+      match (Funcs.Kernels.of_generated g, g.Rlibm.Generator.prog) with
+      | None, _ | _, None -> Printf.printf "skipped (no serving kernel or no certificates)\n"
+      | Some _, Some pr ->
+          let n = 65536 in
+          let max_k =
+            Array.fold_left
+              (fun acc (pc : Rlibm.Prog.piece) -> min acc (pc.Rlibm.Prog.nt - 1))
+              max_int pr.Rlibm.Prog.pieces
+          in
+          let selected = if Array.length pr.Rlibm.Prog.serve_k > 0 then pr.Rlibm.Prog.serve_k.(0) else 0 in
+          Printf.printf "%6s %10s %14s %10s %10s\n" "k" "fast_pct" "calls/s" "p50_ns" "p99_ns";
+          let full_p50 = ref 0.0 in
+          for k = 0 to max_k do
+            match Funcs.Kernels.force_tier g ~k with
+            | None -> Printf.printf "%6d (no strict degree-%d prefix)\n%!" k k
+            | Some p ->
+                let src = Serve.Workload.gen p ~mix:Serve.Workload.Uniform ~seed:2024 ~n in
+                let slo = Serve.Run.measure ~jobs:1 p src ~batches:32 in
+                let tc = slo.Serve.Run.tier_prefix + slo.Serve.Run.tier_full + slo.Serve.Run.tier_fallback in
+                let fast_pct =
+                  if tc = 0 then 0.0
+                  else 100.0 *. float_of_int slo.Serve.Run.tier_prefix /. float_of_int tc
+                in
+                if k = 0 then full_p50 := slo.Serve.Run.p50_ns;
+                Printf.printf "%6d %10.2f %14.0f %10.1f %10.1f%s\n%!" k fast_pct
+                  slo.Serve.Run.calls_per_sec slo.Serve.Run.p50_ns slo.Serve.Run.p99_ns
+                  (if k = selected then "  <- selected serve_k" else if k = 0 then "  (full kernel)" else "");
+                let key part = Printf.sprintf "prog.bf16_log2_k%d_%s" k part in
+                record (key "fast_pct") fast_pct;
+                record (key "p50_ns") slo.Serve.Run.p50_ns;
+                record (key "p99_ns") slo.Serve.Run.p99_ns;
+                if k = selected && !full_p50 > 0.0 && slo.Serve.Run.p50_ns > 0.0 then
+                  record "prog.bf16_log2_tiered_vs_full_p50_speedup" (!full_p50 /. slo.Serve.Run.p50_ns)
+          done;
+          record "prog.bf16_log2_serve_k" (float_of_int selected);
+          if Array.length pr.Rlibm.Prog.input_coverage > 0 then
+            record "prog.bf16_log2_joint_fast_pct" (100.0 *. pr.Rlibm.Prog.input_coverage.(0)))
+
 (* Emit the run as a schema-v1 datafile (lib/datafile).  The file keeps
    the historical BENCH_<rev>.json name so CI's baseline picking and the
    committed history stay continuous; Datafile.read lifts the old
@@ -1067,4 +1119,5 @@ let () =
   if want "sweep" then sweep_section ();
   if want "campaign" then campaign_section ();
   if want "serve" then serve_section ();
+  if want "prog" then prog_section ();
   if json then write_json ()

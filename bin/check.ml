@@ -299,12 +299,19 @@ let resolve_policy (policy : Rlibm.Verifier.policy) (g : G.generated) =
   | `Auto -> if Rlibm.Verifier.certifiable g then `Fast else `Oracle
   | (`Fast | `Oracle) as p -> p
 
-let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir
+(* A progressive generation changes which coefficients are served, but
+   not the sweep/campaign identity: verdicts are output-level and the
+   tier is bit-identical to the full path, so reports from progressive
+   and classic runs must stay interchangeable (byte-identical). *)
+let cfg_of_prog prog =
+  if prog then Some { Rlibm.Config.default with progressive = true } else None
+
+let sweep jobs quality prog mode tname fname stride chunk ckpt_every retries dir resume cache_dir
     verifier =
   set_jobs jobs;
   let t = apply_mode mode (target_by_name tname) in
   let module T = (val t.repr) in
-  let g = Funcs.Libm.get ~quality t fname in
+  let g = Funcs.Libm.get ~quality ?cfg:(cfg_of_prog prog) t fname in
   let spec = g.G.spec in
   let stride = Stdlib.max 1 stride in
   let n = (((1 lsl T.bits) - 1) / stride) + 1 in
@@ -413,8 +420,8 @@ let sweep jobs quality mode tname fname stride chunk ckpt_every retries dir resu
 (* one campaign verdict.                                                *)
 (* ------------------------------------------------------------------ *)
 
-let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir resume cache_dir
-    verifier shards workers shard_sel do_merge =
+let campaign jobs quality prog mode tname fname stride chunk ckpt_every retries dir resume
+    cache_dir verifier shards workers shard_sel do_merge =
   (* OCaml refuses fork once a domain has been spawned, so the parent
      pins itself to inline execution; [--jobs] applies inside workers. *)
   Parallel.set_jobs 1;
@@ -486,7 +493,7 @@ let campaign jobs quality mode tname fname stride chunk ckpt_every retries dir r
     | Ok o -> finish ~tables_hash:"" o
   end
   else begin
-    let g = Funcs.Libm.get ~quality t fname in
+    let g = Funcs.Libm.get ~quality ?cfg:(cfg_of_prog prog) t fname in
     let policy = resolve_policy verifier g in
     let counters = Sweep.Verify.counters () in
     (* One cache file per shard: the append-only cache format is not
@@ -591,6 +598,13 @@ let table16_cmd =
        ~doc:"Exhaustive 16-bit correctness tables (every input of bfloat16/float16/posit16)")
     Term.(const table16 $ jobs_term $ quality_term $ fresh_term $ mode_term $ funcs_term)
 
+let prog_term =
+  Arg.(value & flag
+       & info [ "prog" ]
+           ~doc:"Verify the progressively generated artifact: the sweep classifies through the \
+                 tier the serving kernel actually selects (certified prefix, full polynomial on \
+                 certificate miss).  The report is byte-identical to a non-progressive run.")
+
 let sweep_tname =
   Arg.(value & opt string "bfloat16" & info [ "t"; "target" ] ~doc:"Target type to sweep.")
 
@@ -648,9 +662,9 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Resumable checkpointed full-range sweep: validate every (strided) pattern of a \
              target against the oracle, surviving kills and faulty chunks")
-    Term.(const sweep $ jobs_term $ quality_term $ mode_term $ sweep_tname $ sweep_fname
-          $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term $ resume_term
-          $ cache_dir_term $ verifier_term ~default:`Oracle)
+    Term.(const sweep $ jobs_term $ quality_term $ prog_term $ mode_term $ sweep_tname
+          $ sweep_fname $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term
+          $ resume_term $ cache_dir_term $ verifier_term ~default:`Oracle)
 
 let shards_term =
   Arg.(value & opt int 4
@@ -685,10 +699,10 @@ let campaign_cmd =
              kills), and merge the shard reports into one campaign verdict.  The fast verifier \
              certifies most inputs without the Ziv oracle; the merged report is byte-identical \
              at any shard/worker count and under either verifier.")
-    Term.(const campaign $ jobs_term $ quality_term $ mode_term $ sweep_tname $ sweep_fname
-          $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term $ resume_term
-          $ cache_dir_term $ verifier_term ~default:`Auto $ shards_term $ workers_term
-          $ shard_sel_term $ merge_term)
+    Term.(const campaign $ jobs_term $ quality_term $ prog_term $ mode_term $ sweep_tname
+          $ sweep_fname $ stride_term $ chunk_term $ ckpt_every_term $ retries_term $ dir_term
+          $ resume_term $ cache_dir_term $ verifier_term ~default:`Auto $ shards_term
+          $ workers_term $ shard_sel_term $ merge_term)
 
 let derived_cmd =
   Cmd.v

@@ -33,8 +33,19 @@ let targets_for tname mode all_modes =
   if all_modes then List.map (Funcs.Specs.with_mode t) Fp.Rounding_mode.all
   else match mode with None -> [ t ] | Some m -> [ Funcs.Specs.with_mode t m ]
 
-let cfg_of_lp_warm lp_warm =
-  if lp_warm then Some { Rlibm.Config.default with lp_warm = true } else None
+(* None when every knob is at its default, so the cold path hands
+   Libm.get exactly the cfg-less call it always got (byte-identical
+   output).  RLIBM_PROG=1 / RLIBM_LP_WARM=1 already flow through
+   Config.default, so flags only ever turn knobs on. *)
+let cfg_of ~lp_warm ~prog =
+  if lp_warm || prog then
+    Some
+      {
+        Rlibm.Config.default with
+        lp_warm = Rlibm.Config.default.lp_warm || lp_warm;
+        progressive = Rlibm.Config.default.progressive || prog;
+      }
+  else None
 
 let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats ~emit name =
   let t0 = Unix.gettimeofday () in
@@ -56,7 +67,7 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats ~emit name =
         | Some c ->
             Format.printf "  oracle cache: %d hits, %d misses@." c.Rlibm.Stats.cache_hits
               c.Rlibm.Stats.cache_misses);
-        match s.Rlibm.Stats.lp with
+        (match s.Rlibm.Stats.lp with
         | None -> ()
         | Some l ->
             Format.printf
@@ -64,13 +75,16 @@ let run_one (t : Funcs.Specs.target) quality ?cfg ~pass_stats ~emit name =
                fallbacks), %d refactorizations@."
               (if l.lp_warm_mode then "warm" else "cold")
               l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots
-              l.lp_warm_fallbacks l.lp_refactorizations
+              l.lp_warm_fallbacks l.lp_refactorizations);
+        match s.Rlibm.Stats.prog with
+        | None -> ()
+        | Some p -> Format.printf "%a" Rlibm.Stats.pp_prog p
       end
   | exception Failure msg -> Printf.printf "%-7s %-9s FAILED: %s\n%!" name (label t) msg
 
-let stats jobs pass_stats lp_warm targets mode all_modes quality fns datafile =
+let stats jobs pass_stats lp_warm prog targets mode all_modes quality fns datafile =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
-  let cfg = cfg_of_lp_warm lp_warm in
+  let cfg = cfg_of ~lp_warm ~prog in
   let rows = ref [] in
   (* One "generate" row per successfully generated (function, target):
      Table 3 numbers plus the tables fingerprint, so a later run can
@@ -91,13 +105,27 @@ let stats jobs pass_stats lp_warm targets mode all_modes quality fns datafile =
           tables_hash = Rlibm.Generator.tables_fingerprint g;
           span = None;
           metrics =
-            [
-              ("generate.wall_seconds", wall);
-              ("generate.inputs", float_of_int s.n_inputs);
-              ("generate.special", float_of_int s.n_special);
-              ("generate.constraints", float_of_int (sum (fun c -> c.n_constraints)));
-              ("generate.terms", float_of_int (sum (fun c -> c.n_terms)));
-            ];
+            ([
+               ("generate.wall_seconds", wall);
+               ("generate.inputs", float_of_int s.n_inputs);
+               ("generate.special", float_of_int s.n_special);
+               ("generate.constraints", float_of_int (sum (fun c -> c.n_constraints)));
+               ("generate.terms", float_of_int (sum (fun c -> c.n_terms)));
+             ]
+            @
+            (* Progressive tier selection, gated under prog.* so a
+               vanished tier fails the datafile diff loudly. *)
+            match s.prog with
+            | None -> []
+            | Some p ->
+                [
+                  ("prog.joint_fast_pct", 100.0 *. p.Rlibm.Stats.prog_joint_coverage);
+                  ( "prog.serve_k_sum",
+                    float_of_int
+                      (Array.fold_left
+                         (fun a (c : Rlibm.Stats.prog_component) -> a + c.p_serve_k)
+                         0 p.prog_components) );
+                ]);
           mismatches = [||];
           quarantined = [||];
         }
@@ -123,9 +151,10 @@ let stats jobs pass_stats lp_warm targets mode all_modes quality fns datafile =
           date = Datafile.timestamp ();
           seed = None;
           config =
-            Printf.sprintf "generate stats quality=%s%s"
+            Printf.sprintf "generate stats quality=%s%s%s"
               (match quality with Funcs.Libm.Quick -> "quick" | Full -> "full" | Draft -> "draft")
-              (if lp_warm then " lp-warm" else "");
+              (if lp_warm then " lp-warm" else "")
+              (if prog then " prog" else "");
           host =
             Some
               {
@@ -188,6 +217,14 @@ let datafile_term =
            ~doc:"Write the generation statistics (one row per function × target, with the \
                  tables fingerprint) as a schema-v$(b,1) datafile to $(docv).")
 
+let prog_term =
+  Arg.(value & flag
+       & info [ "prog" ]
+           ~doc:"Progressive polynomials: pin-refit each piece so a short coefficient prefix \
+                 is correctly rounded on most reduced inputs, record per-prefix coverage \
+                 certificates, and select the serving tier.  Also enabled by RLIBM_PROG=1.  \
+                 Off by default — the cold generation output is byte-identical without it.")
+
 let lp_warm_term =
   Arg.(value & flag
        & info [ "lp-warm" ]
@@ -199,16 +236,16 @@ let lp_warm_term =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Generator statistics for all functions (paper Table 3)")
-    Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term $ mode_term
-          $ all_modes_term $ quality_term $ funcs_term $ datafile_term)
+    Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ prog_term $ targets_term
+          $ mode_term $ all_modes_term $ quality_term $ funcs_term $ datafile_term)
 
 (* Bit-exact dump of the generated tables: every coefficient and scheme
    word as hex bits.  Diffing two dumps proves (or refutes) that a
    change to the exact-arithmetic substrate left the generated artifact
    bit-identical — the determinism contract CI leans on. *)
-let dump jobs lp_warm targets mode all_modes quality fns =
+let dump jobs lp_warm prog targets mode all_modes quality fns =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
-  let cfg = cfg_of_lp_warm lp_warm in
+  let cfg = cfg_of ~lp_warm ~prog in
   List.iter
     (fun tname ->
       List.iter
@@ -247,8 +284,8 @@ let dump jobs lp_warm targets mode all_modes quality fns =
 let dump_cmd =
   Cmd.v
     (Cmd.info "dump" ~doc:"Bit-exact hex dump of the generated tables (for determinism diffs)")
-    Term.(const dump $ jobs_term $ lp_warm_term $ targets_term $ mode_term $ all_modes_term
-          $ quality_term $ funcs_term)
+    Term.(const dump $ jobs_term $ lp_warm_term $ prog_term $ targets_term $ mode_term
+          $ all_modes_term $ quality_term $ funcs_term)
 
 let () =
   let info = Cmd.info "generate" ~doc:"RLIBM-32 library generator (Table 3)" in
@@ -256,6 +293,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           ~default:
-            Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ targets_term
-                  $ mode_term $ all_modes_term $ quality_term $ funcs_term $ datafile_term)
+            Term.(const stats $ jobs_term $ pass_stats_term $ lp_warm_term $ prog_term
+                  $ targets_term $ mode_term $ all_modes_term $ quality_term $ funcs_term
+                  $ datafile_term)
           info [ stats_cmd; dump_cmd ]))

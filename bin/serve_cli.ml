@@ -26,7 +26,7 @@ let quality_of_name = function
   | "full" -> Some Funcs.Libm.Full
   | _ -> None
 
-let run jobs tname fname mname mixname n batches seed check qname datafile =
+let run jobs tname fname mname mixname n batches seed check qname prog datafile =
   (match jobs with Some j -> Parallel.set_jobs j | None -> ());
   let die2 msg =
     prerr_endline msg;
@@ -53,34 +53,46 @@ let run jobs tname fname mname mixname n batches seed check qname datafile =
     | None -> die2 (Printf.sprintf "serve: unknown quality %s (draft|quick|full)" qname)
   in
   let t = if base.Funcs.Specs.mode = mode then base else Funcs.Specs.with_mode base mode in
+  let cfg =
+    if prog then Some { Rlibm.Config.default with progressive = true } else None
+  in
   let p =
-    match Funcs.Kernels.plan_opt ~quality t fname with
+    match Funcs.Kernels.plan_opt ~quality ?cfg t fname with
     | Some p -> p
     | None -> die2 (Printf.sprintf "serve: no serving kernel for %s on %s" fname tname)
   in
   let src = W.gen p ~mix ~seed ~n in
-  Printf.printf "serve: %s %s @%s, %s mix, n=%d batches=%d seed=%d jobs=%s\n" tname fname
+  Printf.printf "serve: %s %s @%s, %s mix, n=%d batches=%d seed=%d jobs=%s%s\n" tname fname
     (Fp.Rounding_mode.to_string mode)
     (W.mix_to_string mix) n batches seed
-    (match jobs with Some j -> string_of_int j | None -> "auto");
+    (match jobs with Some j -> string_of_int j | None -> "auto")
+    (match p.K.tier with
+    | Some tp -> Printf.sprintf " tier=prefix-k%d" tp.(0).K.tk
+    | None -> if prog then " tier=full (no certified prefix)" else "");
   let slo = R.measure ?jobs p src ~batches in
+  let tier_calls = slo.R.tier_prefix + slo.R.tier_full + slo.R.tier_fallback in
   Printf.printf "calls_per_sec: %.0f\n" slo.R.calls_per_sec;
   Printf.printf "p50_ns: %.1f\n" slo.R.p50_ns;
   Printf.printf "p99_ns: %.1f\n" slo.R.p99_ns;
+  Printf.printf "tier_calls: %d prefix / %d full / %d fallback (%.2f%% fast tier)\n"
+    slo.R.tier_prefix slo.R.tier_full slo.R.tier_fallback
+    (if tier_calls = 0 then 0.0
+     else 100.0 *. float_of_int slo.R.tier_prefix /. float_of_int tier_calls);
   (match datafile with
   | None -> ()
   | Some path ->
       (* Libm.get is memoized, so re-fetching the generated tables to
          fingerprint them is free — plan_opt already generated them. *)
-      let g = Funcs.Libm.get ~quality t fname in
+      let g = Funcs.Libm.get ~quality ?cfg t fname in
       Datafile.write ~path
         {
           Datafile.rev = Datafile.git_rev ();
           date = Datafile.timestamp ();
           seed = Some seed;
           config =
-            Printf.sprintf "serve %s mix, n=%d batches=%d quality=%s" (W.mix_to_string mix) n
-              batches qname;
+            Printf.sprintf "serve %s mix, n=%d batches=%d quality=%s%s" (W.mix_to_string mix) n
+              batches qname
+              (if prog then " prog" else "");
           host =
             Some
               {
@@ -99,11 +111,28 @@ let run jobs tname fname mname mixname n batches seed check qname datafile =
                 tables_hash = Rlibm.Generator.tables_fingerprint g;
                 span = None;
                 metrics =
-                  [
-                    ("serve.calls_per_sec", slo.R.calls_per_sec);
-                    ("serve.p50_ns", slo.R.p50_ns);
-                    ("serve.p99_ns", slo.R.p99_ns);
-                  ];
+                  (* The batch size is part of each metric key: SLO
+                     numbers at different n are not comparable, and a
+                     datafile diff across sizes must refuse loudly
+                     (every gated serve.* metric vanishes) instead of
+                     quietly comparing apples to oranges. *)
+                  ([
+                     (Printf.sprintf "serve.n%d.calls_per_sec" n, slo.R.calls_per_sec);
+                     (Printf.sprintf "serve.n%d.p50_ns" n, slo.R.p50_ns);
+                     (Printf.sprintf "serve.n%d.p99_ns" n, slo.R.p99_ns);
+                   ]
+                  @
+                  match p.K.tier with
+                  | None -> []
+                  | Some tp ->
+                      [
+                        ( "prog.fast_pct",
+                          if tier_calls = 0 then 0.0
+                          else
+                            100.0 *. float_of_int slo.R.tier_prefix /. float_of_int tier_calls
+                        );
+                        ("prog.serve_k", float_of_int tp.(0).K.tk);
+                      ]);
                 mismatches = [||];
                 quarantined = [||];
               };
@@ -112,7 +141,9 @@ let run jobs tname fname mname mixname n batches seed check qname datafile =
       Printf.printf "datafile: %s\n" path);
   if check then begin
     match R.verify p src with
-    | None -> Printf.printf "bit-identity: ok (%d patterns, kernel = scalar)\n" n
+    | None ->
+        Printf.printf "bit-identity: ok (%d patterns, kernel = scalar%s)\n" n
+          (if Option.is_some p.K.tier then ", tiered = scalar" else "")
     | Some pat ->
         Printf.printf "bit-identity: FAIL at pattern %0*x\n" ((p.K.width + 3) / 4) pat;
         exit 1
@@ -147,6 +178,13 @@ let check =
 let qname =
   Arg.(value & opt string "full" & info [ "quality" ] ~doc:"Generation quality (draft|quick|full).")
 
+let prog =
+  Arg.(value & flag
+       & info [ "prog" ]
+           ~doc:"Generate progressively and serve the certified coefficient prefix tier \
+                 (certificate misses escalate to the full polynomial; outputs stay \
+                 bit-identical to the scalar path).")
+
 let datafile =
   Arg.(value & opt (some string) None
        & info [ "datafile" ] ~docv:"PATH"
@@ -158,6 +196,6 @@ let () =
     Cmd.v
       (Cmd.info "serve_cli" ~doc:"Replay workload mixes through the zero-allocation serving kernels")
       Term.(const run $ jobs $ tname $ fname $ mname $ mixname $ n $ batches $ seed $ check $ qname
-            $ datafile)
+            $ prog $ datafile)
   in
   exit (Cmd.eval cmd)

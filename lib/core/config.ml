@@ -28,6 +28,21 @@ type t = {
       (* Smallest batch that shards across domains (Funcs.Batch and the
          serving pipelines); below it the loop runs inline on the
          calling domain.  Override via RLIBM_BATCH_PAR_MIN. *)
+  progressive : bool;
+      (* Progressive polynomials (RLIBM-PROG): after the full fit, try to
+         enrich each sub-domain so a degree-k prefix of the coefficient
+         vector already satisfies most rounding intervals, and certify
+         per-prefix coverage bitsets next to the tables.  Off by default —
+         the emitted tables are then byte-identical to the classic path;
+         flip on via RLIBM_PROG=1 or generate --prog. *)
+  prog_cert_bits : int;
+      (* Extra index bits per certificate bucket beyond the sub-domain
+         split: certificates cover 2^(nbits + prog_cert_bits) buckets, so
+         a handful of hard inputs only poison their small bucket, not the
+         whole sub-domain. *)
+  prog_min_coverage : float;
+      (* Smallest input-weighted coverage at which a prefix tier is worth
+         serving; below it the runtime keeps the full polynomial. *)
 }
 
 let default =
@@ -51,4 +66,8 @@ let default =
           | Some v when v >= 0 -> v
           | _ -> 1 lsl 14)
       | None -> 1 lsl 14);
+    progressive =
+      (match Sys.getenv_opt "RLIBM_PROG" with Some ("1" | "true") -> true | _ -> false);
+    prog_cert_bits = 3;
+    prog_min_coverage = 0.90;
   }

@@ -19,6 +19,11 @@ type generated = {
       (* per component: Fp64.bits of the reduced input -> the merged
          (intersected over every enumerated pattern sharing it) reduced
          rounding interval.  The oracle-free verifier's certificate. *)
+  prog : Prog.t option;
+      (* Progressive-polynomial certificates (cfg.progressive): per
+         piece, which certificate buckets each degree-k coefficient
+         prefix already serves correctly, plus the selected serving
+         tier.  [None] reproduces the classic artifact bit-for-bit. *)
   stats : Stats.t;
 }
 
@@ -152,10 +157,16 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
             let try_terms =
               if n >= 5 && nt > 2 then [ Array.sub terms 0 (nt - 1); terms ] else [ terms ]
             in
+            let gen_one ts =
+              (* Progressive mode swaps in the prefix-enriching entry
+                 point; same correctness contract, biased coefficients. *)
+              if cfg.progressive then Polygen.gen_prog ?session:sessions.(!i) ~cfg ~terms:ts cs
+              else Polygen.gen ?session:sessions.(!i) ~cfg ~terms:ts cs
+            in
             let rec first = function
               | [] -> ok := false
               | ts :: rest -> (
-                  match Polygen.gen ?session:sessions.(!i) ~cfg ~terms:ts cs with
+                  match gen_one ts with
                   | Polygen.Found c ->
                       Array.blit c 0 coeffs (!i * nt) (Array.length c);
                       used_terms := Stdlib.max !used_terms (Array.length ts);
@@ -197,7 +208,40 @@ let gen_group ~(cfg : Config.t) ~start ~terms (gc : group_cons) =
         if Polygen.debug then
           Printf.eprintf "[gen_group] n=%d nsub=%d filled=%s\n%!" n nsub
             (String.init nsub (fun j -> if filled.(j) then '1' else '0'));
-        Some ({ Piecewise.scheme; coeffs }, n, !used_terms)
+        (* Prefix certification: for each degree-k prefix, the exact set
+           of certificate buckets (sub-domain index refined by
+           cfg.prog_cert_bits extra pattern bits) whose every merged
+           constraint the prefix already satisfies.  A bucket bit is set
+           only when the bucket was seen and never violated; unseen
+           buckets stay 0, so under exhaustive enumeration a set bit is
+           a proof for every input mapping there. *)
+        let certs =
+          if not cfg.progressive || nt <= 1 then [||]
+          else begin
+            let ext = Splitting.max_ext scheme cfg.prog_cert_bits in
+            let nb = Prog.n_buckets scheme ~ext in
+            let ncons = Array.length gc.cons in
+            Array.init (nt - 1) (fun ki ->
+                let k = ki + 1 in
+                let seen = Prog.bits_make nb and bad = Prog.bits_make nb in
+                let nsat = ref 0 in
+                Array.iter
+                  (fun (c : Reduced.constr) ->
+                    let bi = Splitting.index_ext scheme ~ext c.r in
+                    Prog.bit_set seen bi;
+                    let row = Array.sub coeffs (Splitting.index scheme c.r * nt) nt in
+                    if Polygen.prefix_sat ~terms row ~k c then incr nsat
+                    else Prog.bit_set bad bi)
+                  gc.cons;
+                {
+                  Prog.k;
+                  ext;
+                  bits = Prog.bits_diff seen bad;
+                  coverage = float_of_int !nsat /. float_of_int (Stdlib.max 1 ncons);
+                })
+          end
+        in
+        Some ({ Piecewise.scheme; coeffs }, n, !used_terms, certs)
       end
     end
   in
@@ -238,6 +282,31 @@ let tables_fingerprint (g : generated) =
               Array.iter (fun c -> add_i64 (Int64.bits_of_float c)) grp.coeffs)
         [ pw.neg; pw.pos ])
     g.pieces;
+  (* The progressive artifact is part of the fingerprint: a datafile row
+     must name the certificates and the selected tier, not just the
+     coefficient tables they qualify.  Absent (the classic path) hashes
+     nothing, so non-progressive fingerprints are unchanged. *)
+  (match g.prog with
+  | None -> ()
+  | Some p ->
+      add_int 0x70726f67 (* "prog" *);
+      add_int (if p.exhaustive then 1 else 0);
+      Array.iter add_int p.serve_k;
+      Array.iter
+        (fun (pc : Prog.piece) ->
+          add_int pc.nt;
+          List.iter
+            (fun certs ->
+              add_int (Array.length certs);
+              Array.iter
+                (fun (c : Prog.cert) ->
+                  add_int c.k;
+                  add_int c.ext;
+                  add_int (Bytes.length c.bits);
+                  Bytes.iter (fun ch -> mix (Char.code ch)) c.bits)
+                certs)
+            [ pc.neg; pc.pos ])
+        p.pieces);
   Printf.sprintf "fnv1a:%016x" (!h land max_int)
 
 (* Per-pattern result of the enumeration pass: pure in the pattern, so
@@ -353,6 +422,8 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
       (* Build each component's piecewise polynomials. *)
       let pieces = Array.make n_components { Piecewise.terms = [||]; neg = None; pos = None } in
       let comp_stats = Array.make n_components None in
+      let certs_neg = Array.make n_components ([||] : Prog.cert array) in
+      let certs_pos = Array.make n_components ([||] : Prog.cert array) in
       let comp_fail = ref None in
       Array.iteri
         (fun i (comp : Spec.component) ->
@@ -382,13 +453,15 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
                 let piece =
                   {
                     Piecewise.terms = comp.terms;
-                    neg = Option.map (fun (g, _, _) -> g) gneg;
-                    pos = Option.map (fun (g, _, _) -> g) gpos;
+                    neg = Option.map (fun (g, _, _, _) -> g) gneg;
+                    pos = Option.map (fun (g, _, _, _) -> g) gpos;
                   }
                 in
                 pieces.(i) <- piece;
-                let bits_of = function None -> 0 | Some (_, n, _) -> n in
-                let terms_of = function None -> 0 | Some (_, _, u) -> u in
+                certs_neg.(i) <- (match gneg with Some (_, _, _, c) -> c | None -> [||]);
+                certs_pos.(i) <- (match gpos with Some (_, _, _, c) -> c | None -> [||]);
+                let bits_of = function None -> 0 | Some (_, n, _, _) -> n in
+                let terms_of = function None -> 0 | Some (_, _, u, _) -> u in
                 let used = Stdlib.max (terms_of gneg) (terms_of gpos) in
                 let used = if used = 0 then Array.length comp.terms else used in
                 comp_stats.(i) <-
@@ -406,11 +479,128 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
       match !comp_fail with
       | Some e -> Error e
       | None ->
+          let rec_arr = Array.of_list (List.rev !recorded) in
+          let nrec = Array.length rec_arr in
+          (* Progressive artifact: per-piece certificates from gen_group,
+             plus the tier selection — input-weighted coverage measured
+             by replaying every recorded input through range reduction
+             and the certificate buckets, serve_k the smallest prefix
+             clearing cfg.prog_min_coverage (nt = tier disabled). *)
+          let prog, prog_stats =
+            if not cfg.progressive then (None, None)
+            else begin
+              let exhaustive = Array.length patterns = 1 lsl T.bits in
+              let cert_pieces =
+                Array.mapi
+                  (fun i (pw : Piecewise.t) ->
+                    { Prog.nt = Array.length pw.terms; neg = certs_neg.(i); pos = certs_pos.(i) })
+                  pieces
+              in
+              let nk i = Stdlib.max 0 (cert_pieces.(i).Prog.nt - 1) in
+              let group_for i (rr : Spec.reduction) =
+                if rr.r < 0.0 then (certs_neg.(i), pieces.(i).Piecewise.neg)
+                else (certs_pos.(i), pieces.(i).Piecewise.pos)
+              in
+              let hits = Array.init n_components (fun i -> Array.make (nk i) 0) in
+              Array.iter
+                (fun (pat, _) ->
+                  let rr = spec.reduce (T.to_double pat) in
+                  for i = 0 to n_components - 1 do
+                    match group_for i rr with
+                    | _, None -> ()
+                    | certs, Some (grp : Piecewise.group) ->
+                        Array.iteri
+                          (fun ki cert ->
+                            if Prog.hit cert grp.scheme rr.r then
+                              hits.(i).(ki) <- hits.(i).(ki) + 1)
+                          certs
+                  done)
+                rec_arr;
+              let icov i ki = float_of_int hits.(i).(ki) /. float_of_int (Stdlib.max 1 nrec) in
+              let serve_k =
+                Array.init n_components (fun i ->
+                    let nt = cert_pieces.(i).Prog.nt in
+                    let rec pick ki =
+                      if ki >= nk i then nt
+                      else if icov i ki >= cfg.prog_min_coverage then ki + 1
+                      else pick (ki + 1)
+                    in
+                    pick 0)
+              in
+              (* Joint fast-tier coverage: every piece must hit on the
+                 same input for the runtime to take the short path.  The
+                 tier is all-or-nothing across pieces (the contract the
+                 serving kernel and verifier share), so a single piece
+                 without a servable prefix disables the whole tier. *)
+              let joint = ref 0 in
+              let all_tiered =
+                Array.for_all
+                  (fun i -> serve_k.(i) < cert_pieces.(i).Prog.nt)
+                  (Array.init n_components Fun.id)
+              in
+              if all_tiered then
+                Array.iter
+                  (fun (pat, _) ->
+                    let rr = spec.reduce (T.to_double pat) in
+                    let all = ref true in
+                    for i = 0 to n_components - 1 do
+                      match group_for i rr with
+                      | _, None -> all := false
+                      | certs, Some (grp : Piecewise.group) ->
+                          if not (Prog.hit certs.(serve_k.(i) - 1) grp.scheme rr.r) then
+                            all := false
+                    done;
+                    if !all then incr joint)
+                  rec_arr;
+              let joint_cov = float_of_int !joint /. float_of_int (Stdlib.max 1 nrec) in
+              (* Below the bar jointly: disable the tier wholesale (the
+                 certificates stay recorded for the Pareto view). *)
+              let serve_k =
+                if all_tiered && joint_cov >= cfg.prog_min_coverage then serve_k
+                else Array.init n_components (fun i -> cert_pieces.(i).Prog.nt)
+              in
+              let input_coverage =
+                Array.init n_components (fun i ->
+                    if serve_k.(i) < cert_pieces.(i).Prog.nt then icov i (serve_k.(i) - 1)
+                    else 0.0)
+              in
+              let ccov i ki =
+                (* Worst-group constraint coverage for the stats table. *)
+                let of_arr (a : Prog.cert array) =
+                  if ki < Array.length a then Some a.(ki).Prog.coverage else None
+                in
+                match (of_arr certs_neg.(i), of_arr certs_pos.(i)) with
+                | Some a, Some b -> Float.min a b
+                | Some a, None | None, Some a -> a
+                | None, None -> 0.0
+              in
+              let stats =
+                {
+                  Stats.prog_exhaustive = exhaustive;
+                  prog_joint_coverage = joint_cov;
+                  prog_components =
+                    Array.mapi
+                      (fun i (comp : Spec.component) ->
+                        {
+                          Stats.p_cname = comp.cname;
+                          p_nt = cert_pieces.(i).Prog.nt;
+                          p_serve_k = serve_k.(i);
+                          p_per_k =
+                            Array.init (nk i) (fun ki -> (ki + 1, ccov i ki, icov i ki));
+                        })
+                      spec.components;
+                }
+              in
+              ( Some { Prog.pieces = cert_pieces; exhaustive; serve_k; input_coverage },
+                Some stats )
+            end
+          in
           let g =
             {
               spec;
               pieces;
               intervals = merged;
+              prog;
               stats =
                 {
                   Stats.name = spec.name;
@@ -429,6 +619,7 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
                     Some
                       (Stats.lp_of_counters ~warm_mode:cfg.lp_warm lp0 (Lp.Simplex.snapshot ()));
                   oracle_cache = cache_stats;
+                  prog = prog_stats;
                 };
             }
           in
@@ -436,7 +627,6 @@ let generate ?(cfg = Config.default) (spec : Spec.t) ~patterns =
              the oracle pattern for every enumerated input.  Pure per
              input, so it shards too; int addition folded in shard order
              keeps the count identical at every job count. *)
-          let rec_arr = Array.of_list (List.rev !recorded) in
           let bad =
             Parallel.fold_chunks ~n:(Array.length rec_arr) ~combine:( + ) ~init:0
               (fun ~lo ~hi ->

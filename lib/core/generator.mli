@@ -16,6 +16,13 @@ type generated = {
           pattern sharing that reduced input.  This is the certificate
           the oracle-free verifier ({!Verifier}) replays at sweep time;
           treat it as read-only. *)
+  prog : Prog.t option;
+      (** Progressive-polynomial certificates and tier selection
+          ([Config.progressive]): per piece, which certificate buckets
+          each degree-k coefficient prefix provably serves, plus the
+          chosen serving prefix.  [None] on the classic path — the rest
+          of the artifact is then bit-identical to a non-progressive
+          generation, including {!tables_fingerprint}. *)
   stats : Stats.t;
 }
 

@@ -102,3 +102,35 @@ let compile (t : t) =
   let neg = match t.neg with Some g -> compile_group t.terms g | None -> zero in
   let pos = match t.pos with Some g -> compile_group t.terms g | None -> zero in
   fun r -> if r < 0.0 then neg r else pos r
+
+(* Compiled degree-k prefix evaluator: the first [k] coefficients of
+   each row (full row stride unchanged), truncated Horner in exactly
+   {!Polyeval}'s operation order — so a prefix value here is
+   bit-identical to [Polyeval.eval] over the sub-arrays, which is what
+   the progressive certificates were checked against. *)
+let compile_prefix ~k (t : t) =
+  let nt = Array.length t.terms in
+  if k < 1 || k > nt then invalid_arg "Piecewise.compile_prefix";
+  let ptm = Array.sub t.terms 0 k in
+  let one (g : group) =
+    let scheme = g.scheme and coeffs = g.coeffs in
+    fun r ->
+      let o = Splitting.index scheme r * nt in
+      let u = r *. r in
+      let acc = ref coeffs.(o + k - 1) in
+      for j = k - 1 downto 1 do
+        let m =
+          match ptm.(j) - ptm.(j - 1) with 1 -> r | 2 -> u | d -> r ** float_of_int d
+        in
+        acc := coeffs.(o + j - 1) +. (!acc *. m)
+      done;
+      (match ptm.(0) with
+      | 0 -> !acc
+      | 1 -> !acc *. r
+      | 2 -> !acc *. u
+      | e -> !acc *. (r ** float_of_int e))
+  in
+  let zero _ = 0.0 in
+  let neg = match t.neg with Some g -> one g | None -> zero in
+  let pos = match t.pos with Some g -> one g | None -> zero in
+  fun r -> if r < 0.0 then neg r else pos r

@@ -81,9 +81,12 @@ let initial_sample (cfg : Config.t) (cons : Reduced.constr array) =
   end;
   picked
 
-let gen_with ?session ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) =
+let gen_with ?session ?pin ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.constr array) =
   let n = Array.length cons in
-  if n = 0 then Found (Array.make (Array.length terms) 0.0)
+  if n = 0 then
+    Found
+      (Array.init (Array.length terms) (fun j ->
+           match pin with Some p when j < Array.length p -> p.(j) | _ -> 0.0))
   else begin
     let picked = initial_sample cfg cons in
     let sample () =
@@ -121,7 +124,7 @@ let gen_with ?session ~(cfg : Config.t) ~refine_cap ~terms (cons : Reduced.const
                 !slots
             in
             let t_fit = if debug then Sys.time () else 0.0 in
-            let fit_result = Lp.Polyfit.fit ?session ~terms lp_cons in
+            let fit_result = Lp.Polyfit.fit ?session ?pin ~terms lp_cons in
             if debug then
               Printf.eprintf "[polygen] round %d refine %d sample %d fit %.2fs -> %s\n%!"
                 !rounds !refine (Array.length lp_cons) (Sys.time () -. t_fit)
@@ -221,3 +224,91 @@ let gen ?session ~(cfg : Config.t) ~terms (cons : Reduced.constr array) =
         | No_polynomial -> ladder rest)
   in
   ladder [ 65536.0; 1024.0; 16.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Progressive polynomials (RLIBM-PROG lineage).                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the degree-k prefix of [coeffs] (the first k entries, evaluated
+   in the same truncated Horner order the serving tier uses) satisfy
+   constraint [c]?  The certification predicate. *)
+let prefix_sat ~terms coeffs ~k (c : Reduced.constr) =
+  check_one ~terms:(Array.sub terms 0 k) (Array.sub coeffs 0 k) c
+
+(* [gen_prog] = [gen], then prefix enrichment: re-fit so some k-term
+   prefix of the final coefficient vector already satisfies (nearly)
+   every constraint on its own.  Two stages per candidate k, smallest
+   prefix first:
+
+   + fit the k-term structure *directly* against the true constraints —
+     relaxed, if needed, by dropping a small fraction of the narrowest
+     intervals (the hard inputs the full polynomial exists for).  This
+     stage is a heuristic and needs no soundness: coverage is measured
+     afterwards by the certification pass, per bucket;
+   + pin those k coefficients bit-exactly (Polyfit's equality rows) and
+     re-run the full counterexample loop over the full term structure
+     and the *unrelaxed* constraints, so the returned polynomial is
+     correct everywhere exactly as [gen]'s.
+
+   Any failure falls back to the plain [gen] result, which was computed
+   first — enrichment can only improve prefix coverage, never cost
+   correctness or a previously found polynomial. *)
+let gen_prog ?session ~(cfg : Config.t) ~terms (cons : Reduced.constr array) =
+  match gen ?session ~cfg ~terms cons with
+  | No_polynomial -> No_polynomial
+  | Found base ->
+      let nt = Array.length terms in
+      let n = Array.length cons in
+      if nt <= 1 || n = 0 then Found base
+      else begin
+        (* Constraint indices from widest to narrowest interval: the
+           drop ladder removes a prefix-of-the-narrowest fraction. *)
+        let by_width = Array.init n (fun i -> i) in
+        Array.sort
+          (fun i j ->
+            let wi = cons.(i).Reduced.hi -. cons.(i).Reduced.lo
+            and wj = cons.(j).Reduced.hi -. cons.(j).Reduced.lo in
+            if wi <> wj then compare wi wj else compare i j)
+          by_width;
+        let relaxed frac =
+          if frac = 0.0 then cons
+          else begin
+            let ndrop = Stdlib.min (n - 1) (int_of_float (frac *. float_of_int n)) in
+            let dropped = Hashtbl.create (2 * ndrop) in
+            for p = 0 to ndrop - 1 do
+              Hashtbl.replace dropped by_width.(p) ()
+            done;
+            Array.of_seq
+              (Seq.filter_map
+                 (fun i -> if Hashtbl.mem dropped i then None else Some cons.(i))
+                 (Seq.init n Fun.id))
+          end
+        in
+        let prefix_fit k =
+          let ptm = Array.sub terms 0 k in
+          let rec ladder = function
+            | [] -> None
+            | frac :: rest -> (
+                match gen_with ~cfg ~refine_cap:4 ~terms:ptm (relaxed frac) with
+                | Found pc ->
+                    if debug then
+                      Printf.eprintf "[polygen] prog prefix k=%d fit at drop=%.2f\n%!" k frac;
+                    Some pc
+                | No_polynomial -> ladder rest)
+          in
+          ladder [ 0.0; 0.02; 0.10; 0.30 ]
+        in
+        let rec try_k k =
+          if k >= nt then Found base
+          else
+            match prefix_fit k with
+            | None -> try_k (k + 1)
+            | Some prefix -> (
+                match
+                  gen_with ?session ~pin:prefix ~cfg ~refine_cap:cfg.refine_tries ~terms cons
+                with
+                | Found full -> Found full
+                | No_polynomial -> try_k (k + 1))
+        in
+        try_k 1
+      end

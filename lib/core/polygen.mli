@@ -40,3 +40,20 @@ val shrink : Reduced.constr -> Reduced.constr
     cold path. *)
 val gen :
   ?session:Lp.Polyfit.session -> cfg:Config.t -> terms:int array -> Reduced.constr array -> verdict
+
+(** [gen_prog] = {!gen} followed by progressive-prefix enrichment: try,
+    smallest k first, to re-fit so the first k coefficients — fitted
+    directly against the constraint set, minus at most a small fraction
+    of the narrowest intervals — are pinned bit-exactly while the LP
+    fits the remaining tail against the full, unrelaxed constraints.
+    The result is correct everywhere exactly as {!gen}'s (the pinned
+    refit runs the same counterexample loop); on any enrichment failure
+    the plain {!gen} polynomial is returned.  Prefix coverage is *not*
+    asserted here — the certification pass measures it per bucket. *)
+val gen_prog :
+  ?session:Lp.Polyfit.session -> cfg:Config.t -> terms:int array -> Reduced.constr array -> verdict
+
+(** [prefix_sat ~terms coeffs ~k c] — does the degree-k prefix of
+    [coeffs] (first [k] entries, truncated Horner in the serving order)
+    satisfy [c]?  The certification predicate. *)
+val prefix_sat : terms:int array -> float array -> k:int -> Reduced.constr -> bool

@@ -1,0 +1,86 @@
+(* Progressive-polynomial certificates (RLIBM-PROG lineage).
+
+   A generated piece normally serves its full coefficient vector.  The
+   rounding intervals are mostly far wider than the full polynomial
+   needs, so a degree-k *prefix* of the vector — the same leading
+   coefficients, bit-identical, evaluated in the same Horner order —
+   already lands inside the interval of almost every reduced input.  A
+   certificate records exactly which inputs that is true for, as a
+   bitset over certificate buckets: the sub-domain index refined by
+   [ext] further pattern bits (Splitting.index_ext), so the few hard
+   inputs of a sub-domain only poison their own small bucket.
+
+   Soundness contract: a bucket bit is set only when *every* enumerated
+   reduced input landing in that bucket has its prefix value inside its
+   merged rounding interval, and unseen buckets stay 0.  Certificates
+   are therefore only servable when the generation enumerated every
+   input pattern of the representation ([exhaustive]); a certificate
+   miss at run time escalates to the full polynomial — it never rounds,
+   never guesses. *)
+
+type cert = {
+  k : int;  (* prefix length: the first k entries of terms/coeffs *)
+  ext : int;  (* effective extra bucket bits (already clamped to shift) *)
+  bits : Bytes.t;  (* bitset over 2^(scheme.nbits + ext) buckets *)
+  coverage : float;  (* constraint-weighted fraction the prefix satisfies *)
+}
+
+(* Certs for one piece, k ascending from 1 to nt-1; a sign group with no
+   polynomial (or nothing certifiable) carries an empty array. *)
+type piece = { nt : int; neg : cert array; pos : cert array }
+
+type t = {
+  pieces : piece array;
+  exhaustive : bool;  (* certificates built over every input pattern *)
+  serve_k : int array;
+      (* Selected tier per piece: evaluate the first serve_k terms when
+         the certificate hits; serve_k = nt means the tier is disabled
+         and the piece always runs its full polynomial. *)
+  input_coverage : float array;
+      (* Input-weighted coverage at serve_k (fraction of the enumerated
+         reduced workload the prefix tier settles), per piece. *)
+}
+
+(* ---- bitsets ---------------------------------------------------- *)
+
+let n_buckets (s : Splitting.scheme) ~ext = 1 lsl (s.nbits + ext)
+let bits_make n = Bytes.make ((n + 7) / 8) '\000'
+
+let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+(* a AND NOT b, fresh: the "seen and never violated" combine. *)
+let bits_diff a b =
+  let n = Bytes.length a in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get a i) land lnot (Char.code (Bytes.unsafe_get b i)) land 0xff))
+  done;
+  out
+
+let popcount b =
+  let n = ref 0 in
+  Bytes.iter
+    (fun ch ->
+      let c = ref (Char.code ch) in
+      while !c <> 0 do
+        n := !n + (!c land 1);
+        c := !c lsr 1
+      done)
+    b;
+  !n
+
+(* ---- queries ---------------------------------------------------- *)
+
+(* Does [cert] certify reduced input [r] under [scheme]?  Same clamp +
+   shift + mask as the serving kernel's integer path. *)
+let hit cert (scheme : Splitting.scheme) r =
+  bit_get cert.bits (Splitting.index_ext scheme ~ext:cert.ext r)
+
+let cert_for piece ~neg ~k =
+  let arr = if neg then piece.neg else piece.pos in
+  Array.find_opt (fun c -> c.k = k) arr

@@ -48,3 +48,16 @@ let index s r =
   let bits = if ucmp bits s.lo_bits < 0 then s.lo_bits else bits in
   let bits = if ucmp bits s.hi_bits > 0 then s.hi_bits else bits in
   Int64.to_int (Int64.shift_right_logical bits s.shift) land ((1 lsl s.nbits) - 1)
+
+(** [index_ext s ~ext r] refines {!index} with [ext] further bits of the
+    pattern: the certificate-bucket index of the progressive-polynomial
+    tier.  [ext] must not exceed [s.shift] (clamp with {!max_ext}); the
+    sub-domain index is [index_ext s ~ext r lsr ext]. *)
+let max_ext s ext = Stdlib.min ext s.shift
+
+let index_ext s ~ext r =
+  let bits = Fp.Fp64.bits r in
+  let bits = if ucmp bits s.lo_bits < 0 then s.lo_bits else bits in
+  let bits = if ucmp bits s.hi_bits > 0 then s.hi_bits else bits in
+  Int64.to_int (Int64.shift_right_logical bits (s.shift - ext))
+  land ((1 lsl (s.nbits + ext)) - 1)

@@ -13,6 +13,7 @@ type t = {
   passes : pass list;  (* sharded phases, in execution order *)
   lp : lp option;  (* LP kernel work during this generation run *)
   oracle_cache : cache option;  (* persistent-oracle-cache traffic, if enabled *)
+  prog : prog option;  (* progressive-prefix coverage, when cfg.progressive *)
 }
 
 and component = {
@@ -55,6 +56,24 @@ and lp = {
 (* Persistent oracle cache traffic during one run (Sweep.Oracle_cache):
    hits are Ziv-loop executions the cache saved this run. *)
 and cache = { cache_hits : int; cache_misses : int }
+
+(* Progressive-polynomial coverage (cfg.progressive): per component and
+   per prefix degree k, the fraction of constraints the prefix satisfies
+   (worst sign group) and the fraction of enumerated inputs whose
+   certificate bucket the prefix certifies.  [p_serve_k = p_nt] means
+   the serving tier is disabled for that component. *)
+and prog = {
+  prog_exhaustive : bool;  (* certificates enumerated over every pattern *)
+  prog_joint_coverage : float;  (* all tiered components hit, input-weighted *)
+  prog_components : prog_component array;
+}
+
+and prog_component = {
+  p_cname : string;
+  p_nt : int;
+  p_serve_k : int;
+  p_per_k : (int * float * float) array;  (* k, constraint cov, input cov *)
+}
 
 (* Counter delta between two {!Lp.Simplex.snapshot}s bracketing a run. *)
 let lp_of_counters ~warm_mode (b : Lp.Simplex.counters) (a : Lp.Simplex.counters) =
@@ -115,6 +134,25 @@ let pp fmt t =
         (if l.lp_warm_mode then "warm" else "cold")
         l.lp_cold_solves l.lp_primal_pivots l.lp_warm_solves l.lp_dual_pivots l.lp_warm_fallbacks
         l.lp_refactorizations
+
+(* The per-prefix coverage table `generate --prog --stats` prints. *)
+let pp_prog fmt p =
+  Format.fprintf fmt "  prog: %s certificates, joint fast-tier coverage %.2f%%@."
+    (if p.prog_exhaustive then "exhaustive" else "sampled (tier not servable)")
+    (100.0 *. p.prog_joint_coverage);
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun (k, ccov, icov) ->
+          Format.fprintf fmt
+            "    %-10s prefix k=%d/%d: %6.2f%% constraints, %6.2f%% inputs%s@." c.p_cname k
+            c.p_nt (100.0 *. ccov) (100.0 *. icov)
+            (if k = c.p_serve_k then "  <- serving tier" else ""))
+        c.p_per_k;
+      if c.p_serve_k >= c.p_nt then
+        Format.fprintf fmt "    %-10s serving tier: full polynomial (no prefix cleared the bar)@."
+          c.p_cname)
+    p.prog_components
 
 (* One progress line of a checkpointed sweep job ({!Sweep.Engine}):
    chunk completion (with how much came from the resumed checkpoint),

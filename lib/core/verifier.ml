@@ -37,7 +37,18 @@ let certifiable (g : G.generated) =
 (** [classify g] is the run-time path plus the certificate: pattern ->
     (library result, certified).  Mirrors [Generator.compile]'s
     operation order exactly, so the returned result is bit-identical to
-    the library's. *)
+    the library's.
+
+    With an active progressive tier ([g.prog] exhaustive and some
+    component serving a prefix) it mirrors the *tiered* runtime instead:
+    when every tiered component's certificate bucket hits, the prefix
+    values are evaluated and membership-checked — verifying the tier the
+    serving kernel actually selects.  A set certificate bit means every
+    enumerated input of the bucket keeps its prefix value inside the
+    merged interval, and in-interval component values compensate to the
+    same rounded output in every sharing pattern, so tiered and full
+    classification return identical results and verdicts — a certificate
+    miss simply falls through to the full polynomial. *)
 let classify (g : G.generated) =
   let module T = (val g.spec.repr : Fp.Representation.S) in
   let special = g.spec.special in
@@ -48,6 +59,42 @@ let classify (g : G.generated) =
   let tables = g.intervals in
   let n = Array.length evals in
   let scratch = Domain.DLS.new_key (fun () -> Array.make (Stdlib.max n 1) 0.0) in
+  (* All-or-nothing across pieces, same rule as Funcs.Kernels.tier_of:
+     the tier activates only when every piece serves a strict prefix. *)
+  let tier =
+    match g.prog with
+    | Some p
+      when p.exhaustive && n > 0
+           && Array.for_all
+                (fun i -> p.serve_k.(i) < p.pieces.(i).Prog.nt)
+                (Array.init n Fun.id) ->
+        Some p
+    | _ -> None
+  in
+  let prefix_evals =
+    match tier with
+    | None -> [||]
+    | Some p ->
+        Array.mapi
+          (fun i pw ->
+            if p.serve_k.(i) < p.pieces.(i).Prog.nt then
+              Some (Piecewise.compile_prefix ~k:p.serve_k.(i) pw)
+            else None)
+          g.pieces
+  in
+  let cert_hit p i r =
+    let pc = p.Prog.pieces.(i) in
+    let k = p.Prog.serve_k.(i) in
+    let certs, grp =
+      if r < 0.0 then (pc.Prog.neg, g.pieces.(i).Piecewise.neg)
+      else (pc.Prog.pos, g.pieces.(i).Piecewise.pos)
+    in
+    match grp with
+    (* Absent sign group: both full and prefix evaluation yield 0.0, so
+       the bucket test is vacuously a hit (matching the kernel). *)
+    | None -> true
+    | Some grp -> k - 1 < Array.length certs && Prog.hit certs.(k - 1) grp.scheme r
+  in
   fun pat ->
     match special pat with
     | Some out -> (out, true)  (* special-case analysis is the ground truth *)
@@ -55,9 +102,23 @@ let classify (g : G.generated) =
         let v = Domain.DLS.get scratch in
         let rr = reduce (T.to_double pat) in
         let key = Fp.Fp64.bits rr.r in
+        let fast =
+          match tier with
+          | None -> false
+          | Some p ->
+              let ok = ref true in
+              for i = 0 to n - 1 do
+                if Option.is_some prefix_evals.(i) && not (cert_hit p i rr.r) then ok := false
+              done;
+              !ok
+        in
         let certified = ref true in
         for i = 0 to n - 1 do
-          let vi = evals.(i) rr.r in
+          let vi =
+            if fast then
+              match prefix_evals.(i) with Some e -> e rr.r | None -> evals.(i) rr.r
+            else evals.(i) rr.r
+          in
           v.(i) <- vi;
           if !certified then
             match Hashtbl.find_opt tables.(i) key with

@@ -805,6 +805,7 @@ let direction_of key =
 let gated key =
   let pfx p = String.length key >= String.length p && String.sub key 0 (String.length p) = p in
   pfx "gen." || pfx "lp." || pfx "round." || pfx "sweep." || pfx "campaign." || pfx "serve."
+  || pfx "prog."
 
 type verdict = {
   key : string;
@@ -956,15 +957,27 @@ let markdown_diff ?(threshold = 0.25) (base : t) (curr : t) : string =
       pf "> **Warning** — runs are not host-comparable, ratios may be noise: %s\n\n"
         (String.concat "; " reasons));
   let verdicts = diff ~threshold base curr in
-  pf "| metric | baseline | current | ratio | status |\n|---|---:|---:|---:|---|\n";
-  List.iter
-    (fun v ->
-      let num = function Some x -> Printf.sprintf "%.3f" x | None -> "—" in
-      let status = verdict_status v in
-      let status = if v.regressed then "**" ^ status ^ "**" else status in
-      pf "| `%s` | %s | %s | %.2fx | %s |\n" v.key (num v.base) (num v.curr) v.ratio status)
-    verdicts;
-  pf "\n";
+  (* Progressive Pareto metrics (prefix degree, fast-tier share, tiered
+     latency) get their own table: they describe a cost–accuracy
+     trade-off, not a single scalar to eyeball among the others. *)
+  let is_prog v = String.length v.key >= 5 && String.sub v.key 0 5 = "prog." in
+  let prog_vs, main_vs = List.partition is_prog verdicts in
+  let table vs =
+    pf "| metric | baseline | current | ratio | status |\n|---|---:|---:|---:|---|\n";
+    List.iter
+      (fun v ->
+        let num = function Some x -> Printf.sprintf "%.3f" x | None -> "—" in
+        let status = verdict_status v in
+        let status = if v.regressed then "**" ^ status ^ "**" else status in
+        pf "| `%s` | %s | %s | %.2fx | %s |\n" v.key (num v.base) (num v.curr) v.ratio status)
+      vs;
+    pf "\n"
+  in
+  table main_vs;
+  if prog_vs <> [] then begin
+    pf "#### Progressive Pareto (prefix tier)\n\n";
+    table prog_vs
+  end;
   let bad = List.filter (fun v -> v.regressed) verdicts in
   if bad = [] then
     pf "**gate: OK** (%d metrics compared, threshold %.0f%%)\n" (List.length verdicts)

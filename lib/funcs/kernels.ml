@@ -150,6 +150,65 @@ let family_check (t : Specs.target) name : (K.family * K.check) option =
           K.Chk_abs { hi = t.trig_int; snap = Float.ldexp 1.0 (-13) } )
   | _ -> None
 
+(* Lower the generator's progressive certificates into the kernel's
+   plain tier data.  Only an exhaustive generation's certificates are
+   sound, and the tier is all-or-nothing across pieces (mirroring
+   Rlibm.Verifier.classify): any piece without a certified serving
+   prefix disables the whole tier, so a tiered plan's fast path always
+   means "every component served its prefix". *)
+let lower_tpiece (g : G.generated) (p : Rlibm.Prog.t) i k : K.tpiece =
+  let pc = p.Rlibm.Prog.pieces.(i) in
+  let pw = g.pieces.(i) in
+  let nt = pc.Rlibm.Prog.nt in
+  (* Pure-miss dummy: one all-NaN row, so even a stray consult escalates
+     to the full polynomial instead of reading out of bounds. *)
+  let dummy () = { K.t_shift = 0; t_mask = 0; t_coeffs = Array.make k Float.nan } in
+  let cert (grp : Rlibm.Piecewise.group option) (carr : Rlibm.Prog.cert array) =
+    match grp with
+    | None ->
+        (* Sign group absent: never consulted — the kernel's group test
+           short-circuits first. *)
+        dummy ()
+    | Some grp ->
+        if k - 1 >= Array.length carr then dummy ()
+        else begin
+          (* Densify: one prefix row per *extended* certificate bucket,
+             copied bit-identical from the full table when the bucket is
+             certified and all-NaN (the kernel's miss marker) when not.
+             This trades 2^ext-way row replication for a fast path with
+             no separate bitset probe. *)
+          let c = carr.(k - 1) in
+          let ext = c.Rlibm.Prog.ext in
+          let sch = grp.Rlibm.Piecewise.scheme in
+          let nb = 1 lsl (sch.Rlibm.Splitting.nbits + ext) in
+          let tcf = Array.make (nb * k) Float.nan in
+          for e = 0 to nb - 1 do
+            if Rlibm.Prog.bit_get c.Rlibm.Prog.bits e then begin
+              let row = (e lsr ext) * nt in
+              for j = 0 to k - 1 do
+                tcf.((e * k) + j) <- grp.Rlibm.Piecewise.coeffs.(row + j)
+              done
+            end
+          done;
+          { K.t_shift = sch.Rlibm.Splitting.shift - ext; t_mask = nb - 1; t_coeffs = tcf }
+        end
+  in
+  {
+    K.tk = k;
+    tneg = cert pw.Rlibm.Piecewise.neg pc.Rlibm.Prog.neg;
+    tpos = cert pw.Rlibm.Piecewise.pos pc.Rlibm.Prog.pos;
+  }
+
+let tier_of (g : G.generated) : K.tpiece array option =
+  match g.prog with
+  | None -> None
+  | Some p ->
+      let n = Array.length g.pieces in
+      let tiered i = p.Rlibm.Prog.serve_k.(i) < p.Rlibm.Prog.pieces.(i).Rlibm.Prog.nt in
+      if not (p.Rlibm.Prog.exhaustive && n > 0 && Array.for_all tiered (Array.init n Fun.id))
+      then None
+      else Some (Array.init n (fun i -> lower_tpiece g p i p.Rlibm.Prog.serve_k.(i)))
+
 let build (g : G.generated) : K.plan option =
   match target_of_spec g.spec with
   | None -> None
@@ -181,6 +240,7 @@ let build (g : G.generated) : K.plan option =
                     check;
                     family;
                     pieces;
+                    tier = tier_of g;
                     o_mb = fmt.mb;
                     o_mmask = I.mant_mask fmt;
                     o_sbit = I.sign_bit fmt;
@@ -212,6 +272,30 @@ let of_generated (g : G.generated) : K.plan option =
       let p = build g in
       cache := (g, p) :: !cache;
       p
+
+(** [force_tier g ~k] is [g]'s plan with the serving prefix forced to
+    degree [k] for every piece (the bench Pareto sweep walks k along
+    the cost–accuracy frontier).  [None] when there is no kernel, no
+    exhaustive certificates, or some piece has no strict degree-[k]
+    prefix.  [~k:0] strips the tier entirely (the full-polynomial
+    kernel, for baseline timing). *)
+let force_tier (g : G.generated) ~k : K.plan option =
+  match of_generated g with
+  | None -> None
+  | Some p -> (
+      if k = 0 then Some { p with K.tier = None }
+      else
+        match g.prog with
+        | Some pr
+          when pr.Rlibm.Prog.exhaustive
+               && Array.for_all (fun (pc : Rlibm.Prog.piece) -> k < pc.Rlibm.Prog.nt) pr.Rlibm.Prog.pieces ->
+            Some
+              {
+                p with
+                K.tier =
+                  Some (Array.init (Array.length g.pieces) (fun i -> lower_tpiece g pr i k));
+              }
+        | _ -> None)
 
 (** [plan ?quality ?cfg t name] generates (or fetches) the function and
     flattens it, raising on targets with no kernel. *)

@@ -47,10 +47,20 @@ let enumeration (t : Specs.target) quality =
     | 18 -> Rlibm.Enumerate.exhaustive ~bits:18
     | _ -> Rlibm.Enumerate.stratified32 ~per_stratum:(per_stratum quality) ()
 
-let cache : (string * string * Fp.Rounding_mode.t * quality, G.generated) Hashtbl.t =
+let cache : (string * string * Fp.Rounding_mode.t * quality * bool, G.generated) Hashtbl.t =
   Hashtbl.create 32
 
 let cache_mu = Mutex.create ()
+
+(* The cfg components that change the generated artifact's *shape* must
+   discriminate the cache key, or a progressive caller would be handed a
+   certificate-free generation cached by a classic caller (and vice
+   versa).  Only [progressive] qualifies today: the other cfg knobs
+   (warm-start, refine budget) steer how generation runs, not what it
+   emits. *)
+let cfg_progressive = function
+  | Some (c : Rlibm.Config.t) -> c.progressive
+  | None -> Rlibm.Config.default.progressive
 
 (** Generate (or fetch) one function for one target.
     @raise Failure if generation fails — a spec bug, not a user error.
@@ -62,13 +72,14 @@ let cache_mu = Mutex.create ()
     re-targets of the same representation don't collide. *)
 let get ?(quality = Full) ?cfg (t : Specs.target) name =
   Mutex.protect cache_mu @@ fun () ->
-  match Hashtbl.find_opt cache (name, t.tname, t.mode, quality) with
+  let key = (name, t.tname, t.mode, quality, cfg_progressive cfg) in
+  match Hashtbl.find_opt cache key with
   | Some g -> g
   | None -> (
       let spec = Specs.by_name name t in
       match G.generate ?cfg spec ~patterns:(enumeration t quality) with
       | Ok g ->
-          Hashtbl.replace cache (name, t.tname, t.mode, quality) g;
+          Hashtbl.replace cache key g;
           g
       | Error msg -> failwith ("Libm.get: generation failed: " ^ msg))
 

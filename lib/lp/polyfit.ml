@@ -48,10 +48,13 @@ let eval_exact ~terms coeffs x =
   Array.iteri (fun i e -> acc := Q.add !acc (Q.mul coeffs.(i) (qpow qx e))) terms;
   !acc
 
-let fit_cold ~terms cons =
+let fit_cold ~pin ~terms cons =
   let m = Array.length cons in
   let nt = Array.length terms in
-  if m = 0 then Some (Array.make nt Q.zero)
+  let npin = Array.length pin in
+  if npin > nt then invalid_arg "Polyfit.fit: more pinned coefficients than terms";
+  if m = 0 then
+    Some (Array.init nt (fun j -> if j < npin then Q.of_float pin.(j) else Q.zero))
   else begin
     (* Empty interval anywhere: no polynomial can exist. *)
     if Array.exists empty_constr cons then None
@@ -98,8 +101,9 @@ let fit_cold ~terms cons =
       let solve_active () =
         let idx = Hashtbl.fold (fun i () acc -> i :: acc) active [] |> List.sort compare in
         let k = List.length idx in
-        let a = Array.make_matrix (2 * k) nt Q.zero in
-        let b = Array.make (2 * k) Q.zero in
+        let nr = (2 * k) + (2 * npin) in
+        let a = Array.make_matrix nr nt Q.zero in
+        let b = Array.make nr Q.zero in
         List.iteri
           (fun p i ->
             (* row <= hi  and  -row <= -lo *)
@@ -111,6 +115,17 @@ let fit_cold ~terms cons =
             b.(p) <- hi i;
             b.(k + p) <- lo i)
           idx;
+        (* Pinned prefix: an equality pair per pinned coefficient, fixing
+           the *scaled* variable c'_j to pin_j * 2^(-t_j*sigma) so the
+           unscaling below restores exactly the pinned double (both
+           directions are exact dyadic arithmetic). *)
+        for j = 0 to npin - 1 do
+          let p = Q.mul_pow2 (Q.of_float pin.(j)) (-(terms.(j) * sigma)) in
+          a.((2 * k) + (2 * j)).(j) <- Q.one;
+          b.((2 * k) + (2 * j)) <- p;
+          a.((2 * k) + (2 * j) + 1).(j) <- Q.neg Q.one;
+          b.((2 * k) + (2 * j) + 1) <- Q.neg p
+        done;
         Simplex.feasible ~a ~b
       in
       let rec loop rounds =
@@ -166,6 +181,8 @@ let fit_cold ~terms cons =
 type inner = {
   i_terms : int array;
   i_sigma : int;  (* scaling exponent, pinned at session build *)
+  i_pin : int64 array;  (* pinned-prefix signature (coefficient bits) *)
+  i_npin : int;  (* pin rows occupy simplex rows 0 .. 2*i_npin-1, always kept *)
   i_state : Simplex.state;
   mutable i_keys : (int64, int * int) Hashtbl.t;
       (* reduced-input bits -> (row index of "<= hi", row index of "<= -lo") *)
@@ -193,31 +210,49 @@ let clone_session s =
             };
       }
 
-let fit_warm s ~terms cons =
+let fit_warm s ~pin ~terms cons =
   let m = Array.length cons in
   let nt = Array.length terms in
-  if m = 0 then Some (Array.make nt Q.zero)
+  let npin = Array.length pin in
+  if npin > nt then invalid_arg "Polyfit.fit: more pinned coefficients than terms";
+  let pin_sig = Array.map Int64.bits_of_float pin in
+  if m = 0 then
+    Some (Array.init nt (fun j -> if j < npin then Q.of_float pin.(j) else Q.zero))
   else if Array.exists empty_constr cons then None
   else begin
     let rmax = Array.fold_left (fun acc c -> Float.max acc (Float.abs c.r)) 0.0 cons in
     let sigma_now = if rmax = 0.0 then 0 else -snd (Float.frexp rmax) in
     let inn =
       match s.inner with
-      | Some inn when inn.i_terms = terms && abs (inn.i_sigma - sigma_now) <= 4 ->
-          (* Same structure, domain scale within a few octaves of the
-             pinned one: the cached rows stay well-conditioned. *)
+      | Some inn
+        when inn.i_terms = terms && abs (inn.i_sigma - sigma_now) <= 4 && inn.i_pin = pin_sig ->
+          (* Same structure, pin and domain scale within a few octaves of
+             the pinned one: the cached rows stay well-conditioned. *)
           inn
       | _ ->
           let inn =
             {
               i_terms = Array.copy terms;
               i_sigma = sigma_now;
+              i_pin = pin_sig;
+              i_npin = npin;
               i_state = Simplex.create ~nv:nt;
               i_keys = Hashtbl.create 64;
               i_rows = Hashtbl.create 256;
               i_rows_f = Hashtbl.create 256;
             }
           in
+          (* Pin rows go in first (rows 0 .. 2*npin-1) and are never
+             dropped, so their indices survive every renumbering. *)
+          for j = 0 to npin - 1 do
+            let p = Q.mul_pow2 (Q.of_float pin.(j)) (-(terms.(j) * sigma_now)) in
+            let row = Array.make nt Q.zero in
+            row.(j) <- Q.one;
+            ignore (Simplex.add_row inn.i_state row p);
+            let nrow = Array.make nt Q.zero in
+            nrow.(j) <- Q.neg Q.one;
+            ignore (Simplex.add_row inn.i_state nrow (Q.neg p))
+          done;
           s.inner <- Some inn;
           inn
     in
@@ -263,6 +298,9 @@ let fit_warm s ~terms cons =
     if Hashtbl.length inn.i_keys > 0 then begin
       let nr = Simplex.nrows inn.i_state in
       let keep = Array.make nr false in
+      for i = 0 to (2 * inn.i_npin) - 1 do
+        keep.(i) <- true
+      done;
       Hashtbl.iter
         (fun k (ih, il) ->
           if Hashtbl.mem bounds k then begin
@@ -329,7 +367,7 @@ let fit_warm s ~terms cons =
         | Simplex.Unknown ->
             (* Repair stalled at the pivot cap: retry from scratch. *)
             Simplex.(counters.warm_fallbacks <- counters.warm_fallbacks + 1);
-            fit_cold ~terms cons
+            fit_cold ~pin ~terms cons
         | Simplex.Feasible coeffs -> (
             let coeffs_f = Array.map Q.to_float coeffs in
             let viols = ref [] in
@@ -351,5 +389,5 @@ let fit_warm s ~terms cons =
     loop 0
   end
 
-let fit ?session ~terms cons =
-  match session with None -> fit_cold ~terms cons | Some s -> fit_warm s ~terms cons
+let fit ?session ?(pin = [||]) ~terms cons =
+  match session with None -> fit_cold ~pin ~terms cons | Some s -> fit_warm s ~pin ~terms cons

@@ -56,8 +56,18 @@ val clone_session : session -> session
     solved from scratch — deterministic, and the differential reference.
     With [?session] the call is warm-started from the session's live
     basis.  Warm and cold agree on [Some]/[None] (both are exact) but
-    may return different coefficient vectors. *)
-val fit : ?session:session -> terms:int array -> constr array -> Rational.t array option
+    may return different coefficient vectors.
+
+    [?pin] fixes the first [Array.length pin] coefficients (aligned with
+    [terms]) to exactly the given doubles — the progressive-polynomial
+    refit: a certified degree-k prefix stays bit-identical while the LP
+    fits only the remaining tail.  Pins are equality rows on the scaled
+    variables, exact in both directions, so a [Some] result returns the
+    pinned doubles unchanged.  A pin change rebuilds a session (the
+    counterexample loop refits the same pin round after round, which is
+    where warm reuse pays). *)
+val fit :
+  ?session:session -> ?pin:float array -> terms:int array -> constr array -> Rational.t array option
 
 (** Evaluate a fitted polynomial (exact coefficients) at a double point,
     exactly. *)

@@ -54,6 +54,40 @@ type piece = {
   pos : pgroup option;
 }
 
+(* Progressive tier (RLIBM-PROG): the serving coefficient prefix of each
+   piece, certificate-gated.  Plain ints and float arrays only — this
+   library must stay independent of rlibm, so Funcs.Kernels lowers
+   Rlibm.Prog certificates into this shape.
+
+   The certificate is folded into the table: one *dense* prefix row per
+   extended sub-domain bucket (the piece's splitting index extended by
+   the certificate's extra low bits), holding the first [tk] of the full
+   row's coefficients when the generator certified that every enumerated
+   input of the bucket keeps its degree-[tk] prefix value inside the
+   merged rounding interval — and all-NaN otherwise.  The prefix Horner
+   then doubles as the certificate probe: NaN poisons the result, and a
+   NaN prefix value means "uncertified bucket", sending the element to
+   the full row ([eval_piece]) — never a wrong answer, because a
+   certified prefix composes to the same rounded output as the full
+   polynomial and a miss escalates instead of deciding.  This costs one
+   float self-compare on the fast path where a separate bitset would
+   cost an extra load, mask and branch. *)
+type tcert = {
+  t_shift : int;  (* scheme shift minus the certificate's extra bits *)
+  t_mask : int;  (* 2^(nbits + ext) - 1: extended-bucket index mask *)
+  t_coeffs : float array;  (* 2^(nbits + ext) dense rows of tk coeffs *)
+}
+
+(* Certs are non-optional so the hot loop loads fields directly (no
+   option match per call): a side whose sign group is absent carries an
+   empty dummy that is never consulted — the group test short-circuits
+   first. *)
+type tpiece = {
+  tk : int;  (* serving prefix length, 1 <= tk < nt *)
+  tneg : tcert;
+  tpos : tcert;
+}
+
 (* Special-case region probe, mirroring the decision structure of the
    {!Funcs.Specs} special builders.  Firing sends the input to the
    scalar fallback; the probe must therefore cover (at least) every
@@ -117,6 +151,10 @@ type plan = {
   check : check;
   family : family;
   pieces : piece array;  (* length 1 (log/exp) or 2 (trig/hyperbolic) *)
+  tier : tpiece array option;
+      (* aligned with [pieces]; [Some] only when every piece has a
+         certified serving prefix (all-or-nothing across pieces, the
+         contract {!Rlibm.Verifier.classify} mirrors) *)
   (* output rounding (replicates Fp.Ieee.of_double for this fmt/mode) *)
   o_mb : int;
   o_mmask : int;
@@ -485,6 +523,165 @@ let eval (p : plan) (s : float array) pat =
     compose p s aux
   end
 
+(* ------------------------------------------------------------------ *)
+(* Tiered evaluation: certified prefix -> full polynomial -> scalar    *)
+(* fallback.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Tier counter layout (a plain [int array] so the hot loop can count
+   without allocating): 0 = certified-prefix evaluations, 1 = full-
+   polynomial evaluations (certificate miss or no tier), 2 = scalar
+   fallbacks (special / non-finite inputs).  The batched entry points
+   ({!eval_counted}, {!eval_tiered_tp}) increment only their *rare*
+   branches — the pipeline derives the dominant tier's count from the
+   processed total at shard end, so the steady-state path pays nothing
+   for accounting. *)
+let c_prefix = 0
+
+let c_full = 1
+let c_fallback = 2
+let n_counters = 3
+let counters () = Array.make n_counters 0
+
+(* One piece through the tier: prefix Horner over the dense certified
+   rows, which doubles as the certificate probe — an uncertified bucket
+   holds an all-NaN row, the NaN poisons the prefix value, and the
+   [v <> v] self-compare routes the element to the full row.  Returns
+   [true] with the prefix value written to [s.(dst)] on a certificate
+   hit, [false] (nothing written) on a miss.  Prefix expressions are
+   the leading [tk] coefficients in exactly {!Rlibm.Polyeval}'s
+   operation order — bit-identical to what the certificates were
+   checked against (multiplication commutes bit-exactly, so the kernel
+   writes them in [eval_piece]'s style).  A certified row can never
+   legitimately evaluate to NaN (its value lies inside a finite rounding
+   interval), so the self-compare is exact, not heuristic. *)
+let eval_piece_tiered (pc : piece) (tp : tpiece) (s : float array) dst =
+  let r = Array.unsafe_get s 0 in
+  (* Two scalar selects, not one tuple select: the Closure-mode backend
+     would allocate the tuple on every call. *)
+  let is_neg = r < 0.0 in
+  let g = if is_neg then pc.neg else pc.pos in
+  let tc = if is_neg then tp.tneg else tp.tpos in
+  match g with
+  | None ->
+      (* Absent sign group: the full path also yields 0.0. *)
+      Array.unsafe_set s dst 0.0;
+      true
+  | Some g ->
+      let rb = Int64.bits_of_float r in
+      let bh = Int64.to_int (Int64.shift_right_logical rb 32) in
+      let bl = Int64.to_int (Int64.logand rb 0xFFFF_FFFFL) in
+      let below = bh < g.lo_hi || (bh = g.lo_hi && bl < g.lo_lo) in
+      let bh = if below then g.lo_hi else bh in
+      let bl = if below then g.lo_lo else bl in
+      let above = bh > g.hi_hi || (bh = g.hi_hi && bl > g.hi_lo) in
+      let bh = if above then g.hi_hi else bh in
+      let bl = if above then g.hi_lo else bl in
+      (* Splitting.index_ext with the shift/mask precomputed at lowering
+         time: keep the certificate's extra low bits. *)
+      let sh = tc.t_shift in
+      let eidx =
+        (if sh >= 32 then bh lsr (sh - 32) else (bh lsl (32 - sh)) lor (bl lsr sh))
+        land tc.t_mask
+      in
+      let c = tc.t_coeffs in
+      let o = eidx * tp.tk in
+      let v =
+        match pc.shape with
+        | S0123 ->
+            if tp.tk = 1 then Array.unsafe_get c o
+            else if tp.tk = 2 then Array.unsafe_get c o +. (r *. Array.unsafe_get c (o + 1))
+            else
+              Array.unsafe_get c o
+              +. (r *. (Array.unsafe_get c (o + 1) +. (r *. Array.unsafe_get c (o + 2))))
+        | S123 ->
+            if tp.tk = 1 then r *. Array.unsafe_get c o
+            else r *. (Array.unsafe_get c o +. (r *. Array.unsafe_get c (o + 1)))
+        | S135 ->
+            if tp.tk = 1 then r *. Array.unsafe_get c o
+            else
+              let u = r *. r in
+              r *. (Array.unsafe_get c o +. (u *. Array.unsafe_get c (o + 1)))
+        | S024 ->
+            if tp.tk = 1 then Array.unsafe_get c o
+            else
+              let u = r *. r in
+              Array.unsafe_get c o +. (u *. Array.unsafe_get c (o + 1))
+      in
+      if v <> v then false
+      else begin
+        Array.unsafe_set s dst v;
+        true
+      end
+
+(** [eval_counted p s ctr pat] is {!eval} counting only the rare scalar
+    fallbacks into [ctr] — pipelines over tier-less plans derive the
+    full-polynomial count as [processed - fallbacks] at shard end. *)
+let eval_counted (p : plan) (s : float array) (ctr : int array) pat =
+  let aux = stage1 p s pat in
+  if aux < 0 then begin
+    Array.unsafe_set ctr c_fallback (Array.unsafe_get ctr c_fallback + 1);
+    p.fallback pat
+  end
+  else begin
+    let pcs = p.pieces in
+    eval_piece (Array.unsafe_get pcs 0) s 1;
+    if Array.length pcs > 1 then eval_piece (Array.unsafe_get pcs 1) s 2;
+    compose p s aux
+  end
+
+(** [eval_tiered_tp p tp s ctr pat] is the tiered per-element step with
+    the tier already in hand (hoisted out of the batch loop): when every
+    piece's certificate bucket hits, the certified coefficient prefixes
+    are evaluated instead of the full rows; any miss re-evaluates every
+    piece in full ([eval]'s exact path), so the result is bit-identical
+    to {!eval} on every input.  Counts only the rare branches
+    (certificate-miss fulls and fallbacks) — the prefix count is
+    [processed - full - fallbacks], derived at shard end. *)
+let eval_tiered_tp (p : plan) (tp : tpiece array) (s : float array) (ctr : int array) pat =
+  let aux = stage1 p s pat in
+  if aux < 0 then begin
+    Array.unsafe_set ctr c_fallback (Array.unsafe_get ctr c_fallback + 1);
+    p.fallback pat
+  end
+  else begin
+    let pcs = p.pieces in
+    let fast =
+      eval_piece_tiered (Array.unsafe_get pcs 0) (Array.unsafe_get tp 0) s 1
+      && (Array.length pcs < 2
+         || eval_piece_tiered (Array.unsafe_get pcs 1) (Array.unsafe_get tp 1) s 2)
+    in
+    if not fast then begin
+      Array.unsafe_set ctr c_full (Array.unsafe_get ctr c_full + 1);
+      eval_piece (Array.unsafe_get pcs 0) s 1;
+      if Array.length pcs > 1 then eval_piece (Array.unsafe_get pcs 1) s 2
+    end;
+    compose p s aux
+  end
+
+(* Post-loop counter fixup: credit the dominant tier with everything the
+   rare branches didn't claim. *)
+let derive_counts ~tiered ~processed (ctr : int array) =
+  if tiered then ctr.(c_prefix) <- ctr.(c_prefix) + processed - ctr.(c_full) - ctr.(c_fallback)
+  else ctr.(c_full) <- ctr.(c_full) + processed - ctr.(c_fallback)
+
+(** [eval_tiered p s ctr pat] is {!eval} through the plan's progressive
+    tier (if any), with *exact* per-call tier accounting into [ctr] —
+    the convenient scalar entry for verification and tests; batch loops
+    use {!eval_tiered_tp}/{!eval_counted} + {!derive_counts} instead. *)
+let eval_tiered (p : plan) (s : float array) (ctr : int array) pat =
+  match p.tier with
+  | None ->
+      let fb = ctr.(c_fallback) in
+      let out = eval_counted p s ctr pat in
+      if ctr.(c_fallback) = fb then ctr.(c_full) <- ctr.(c_full) + 1;
+      out
+  | Some tp ->
+      let fb = ctr.(c_fallback) and fu = ctr.(c_full) in
+      let out = eval_tiered_tp p tp s ctr pat in
+      if ctr.(c_fallback) = fb && ctr.(c_full) = fu then ctr.(c_prefix) <- ctr.(c_prefix) + 1;
+      out
+
 (** [is_fast p pat]: would [pat] take the allocation-free path?  (Used
     by workload generators and tests; not on the hot path itself.) *)
 let is_fast (p : plan) pat =
@@ -545,6 +742,11 @@ let clone_group (g : pgroup) = { g with coeffs = Array.copy g.coeffs }
 let clone_piece (pc : piece) =
   { pc with neg = Option.map clone_group pc.neg; pos = Option.map clone_group pc.pos }
 
+let clone_tcert (tc : tcert) = { tc with t_coeffs = Array.copy tc.t_coeffs }
+
+let clone_tpiece (tp : tpiece) =
+  { tp with tneg = clone_tcert tp.tneg; tpos = clone_tcert tp.tpos }
+
 (** Deep-copy every flat table of a plan, so each worker domain can own
     a private replica (no shared cache lines on the hot loop). *)
 let clone (p : plan) =
@@ -558,4 +760,9 @@ let clone (p : plan) =
     | Sinh f -> Sinh { sh = Array.copy f.sh; ch = Array.copy f.ch }
     | Cosh f -> Cosh { sh = Array.copy f.sh; ch = Array.copy f.ch }
   in
-  { p with family; pieces = Array.map clone_piece p.pieces }
+  {
+    p with
+    family;
+    pieces = Array.map clone_piece p.pieces;
+    tier = Option.map (Array.map clone_tpiece) p.tier;
+  }

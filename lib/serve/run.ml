@@ -58,6 +58,44 @@ let patterns ?jobs ?par_min (p : K.plan) (src : int array) (dst : int array) =
         Array.unsafe_set dst i (K.eval c s (Array.unsafe_get src i))
       done)
 
+(* Per-shard tier counters merge under one lock at shard exit (a few
+   dozen increments per run, never per element), so the hot loop counts
+   into a shard-local array without contention or atomics. *)
+let ctr_mu = Mutex.create ()
+
+let merge_counters dst local =
+  Mutex.lock ctr_mu;
+  for i = 0 to K.n_counters - 1 do
+    dst.(i) <- dst.(i) + local.(i)
+  done;
+  Mutex.unlock ctr_mu
+
+(** [patterns_tiered p src dst ctr] is {!patterns} through the plan's
+    progressive tier ({!Kernel.eval_tiered}): bit-identical outputs,
+    with per-tier call counts accumulated into [ctr] (a
+    {!Kernel.counters}). *)
+let patterns_tiered ?jobs ?par_min (p : K.plan) (src : int array) (dst : int array) ctr =
+  let n = Array.length src in
+  if Array.length dst <> n then invalid_arg "Serve.Run.patterns_tiered: length mismatch";
+  run_sharded ?jobs ?par_min n (fun ~lo ~hi ->
+      let c = pin p in
+      let s = K.scratch () in
+      let lc = K.counters () in
+      (* The tier dispatch is hoisted out of the loop; the loop counts
+         only its rare branches and the dominant tier is credited at
+         shard end (K.derive_counts). *)
+      (match c.K.tier with
+      | Some tp ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dst i (K.eval_tiered_tp c tp s lc (Array.unsafe_get src i))
+          done
+      | None ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set dst i (K.eval_counted c s lc (Array.unsafe_get src i))
+          done);
+      K.derive_counts ~tiered:(Option.is_some c.K.tier) ~processed:(hi - lo) lc;
+      merge_counters ctr lc)
+
 (* The double -> pattern leg of the doubles pipeline always rounds at
    RNE (Representation.S.of_double's default, which is what the boxed
    Funcs.Batch.eval_doubles used); float32 takes the hardware cast
@@ -136,6 +174,33 @@ let ba32 ?jobs ?par_min (p : K.plan) (src : i32buf) (out : i32buf) =
         Bigarray.Array1.unsafe_set out i (Int32.of_int (K.eval c s pat))
       done)
 
+(** [ba32_tiered p src dst ctr] is {!ba32} through the progressive tier:
+    bit-identical outputs, per-tier call counts accumulated into [ctr].
+    This is the serving loop {!measure} times, so the counter increments
+    are part of the measured path (a served call always pays for its own
+    accounting). *)
+let ba32_tiered ?jobs ?par_min (p : K.plan) (src : i32buf) (out : i32buf) ctr =
+  let n = Bigarray.Array1.dim src in
+  if Bigarray.Array1.dim out <> n then invalid_arg "Serve.Run.ba32_tiered: length mismatch";
+  if p.K.width > 32 then invalid_arg "Serve.Run.ba32_tiered: pattern width exceeds 32 bits";
+  run_sharded ?jobs ?par_min n (fun ~lo ~hi ->
+      let c = pin p in
+      let s = K.scratch () in
+      let lc = K.counters () in
+      (match c.K.tier with
+      | Some tp ->
+          for i = lo to hi - 1 do
+            let pat = Int32.to_int (Bigarray.Array1.unsafe_get src i) land 0xFFFF_FFFF in
+            Bigarray.Array1.unsafe_set out i (Int32.of_int (K.eval_tiered_tp c tp s lc pat))
+          done
+      | None ->
+          for i = lo to hi - 1 do
+            let pat = Int32.to_int (Bigarray.Array1.unsafe_get src i) land 0xFFFF_FFFF in
+            Bigarray.Array1.unsafe_set out i (Int32.of_int (K.eval_counted c s lc pat))
+          done);
+      K.derive_counts ~tiered:(Option.is_some c.K.tier) ~processed:(hi - lo) lc;
+      merge_counters ctr lc)
+
 (** [ba64 p src dst] evaluates over float64 value buffers (the
     double-in/double-out serving shape). *)
 let ba64 ?jobs ?par_min (p : K.plan) (src : f64buf) (dst : f64buf) =
@@ -185,28 +250,37 @@ let ba64 ?jobs ?par_min (p : K.plan) (src : f64buf) (dst : f64buf) =
 (* Bit-identity verification and SLO measurement.                      *)
 (* ------------------------------------------------------------------ *)
 
-(** [verify p src] replays every input pattern through both the kernel
-    and the plan's scalar fallback (which IS the generated scalar path)
-    and returns the first mismatching input pattern, or [None]. *)
+(** [verify p src] replays every input pattern through the kernel and
+    the plan's scalar fallback (which IS the generated scalar path) and
+    returns the first mismatching input pattern, or [None].  Plans
+    carrying a progressive tier also replay the tiered path — the tier
+    actually selected at serving time — against the same fallback. *)
 let verify (p : K.plan) (src : int array) =
   let s = K.scratch () in
   let c = pin p in
+  let ctr = K.counters () in
+  let tiered = Option.is_some c.K.tier in
   let bad = ref None in
   let i = ref 0 in
   let n = Array.length src in
   while !bad = None && !i < n do
     let pat = src.(!i) in
-    if K.eval c s pat <> p.K.fallback pat then bad := Some pat;
+    let want = p.K.fallback pat in
+    if K.eval c s pat <> want then bad := Some pat
+    else if tiered && K.eval_tiered c s ctr pat <> want then bad := Some pat;
     incr i
   done;
   !bad
 
 type slo = {
-  n : int;  (* calls per batch *)
+  n : int;  (* calls per batch — diffs across batch sizes are meaningless *)
   batches : int;
   calls_per_sec : float;
-  p50_ns : float;  (* per-call, over per-batch means *)
+  p50_ns : float;  (* per-call (micro-block sampled), NOT per-batch means *)
   p99_ns : float;
+  tier_prefix : int;  (* calls served by the certified prefix, all batches *)
+  tier_full : int;  (* full-polynomial evaluations (miss, or no tier) *)
+  tier_fallback : int;  (* scalar fallbacks (special / non-finite) *)
 }
 
 (* Percentile over a sorted sample array (nearest-rank). *)
@@ -219,34 +293,69 @@ let percentile sorted q =
     sorted.(rank - 1)
   end
 
+(* Latency percentiles sample micro-blocks of this many calls on a
+   single domain: a timestamp pair per individual ~10ns call would
+   measure the clock, not the kernel, while a whole-batch mean (the old
+   behaviour) collapses the distribution to one sample per batch and
+   hides every tail.  512 calls amortize the clock reads to well under a
+   nanosecond per call while keeping block-to-block spread visible —
+   and keeps each block a few microseconds long, comfortably above the
+   clock's microsecond granularity. *)
+let sample_block = 512
+
 (** [measure ?jobs ?par_min p src ~batches] replays the pattern workload
-    [src] through the int32 Bigarray pipeline [batches] times and
-    reports throughput and per-call latency percentiles (per-batch
-    means — a batch is the serving unit, mirroring the paper's
-    1024-input harness).  One warm-up batch runs first so table pinning
-    and buffer faulting stay out of the numbers. *)
+    [src] through the tiered int32 Bigarray pipeline [batches] times for
+    throughput, then samples per-call latency in {!sample_block}-call
+    micro-blocks on one domain for the percentiles — [p50_ns]/[p99_ns]
+    are over per-call samples, not per-batch means, so they move when
+    the tail moves.  One warm-up batch runs first so table pinning and
+    buffer faulting stay out of the numbers; tier counters cover the
+    timed batches only (warm-up excluded). *)
 let measure ?jobs ?par_min (p : K.plan) (src : int array) ~batches =
   let n = Array.length src in
   let inb = create_i32 n and outb = create_i32 n in
   for i = 0 to n - 1 do
     Bigarray.Array1.set inb i (Int32.of_int src.(i))
   done;
-  ba32 ?jobs ?par_min p inb outb;
-  let times = Array.make batches 0.0 in
+  let ctr = K.counters () in
+  ba32_tiered ?jobs ?par_min p inb outb ctr;
+  Array.fill ctr 0 K.n_counters 0;
   let total = ref 0.0 in
-  for b = 0 to batches - 1 do
+  for _b = 0 to batches - 1 do
     let t0 = Unix.gettimeofday () in
-    ba32 ?jobs ?par_min p inb outb;
-    let dt = Unix.gettimeofday () -. t0 in
-    times.(b) <- dt;
-    total := !total +. dt
+    ba32_tiered ?jobs ?par_min p inb outb ctr;
+    total := !total +. (Unix.gettimeofday () -. t0)
   done;
-  let per_call_ns = Array.map (fun dt -> dt /. float_of_int n *. 1e9) times in
-  Array.sort compare per_call_ns;
+  let nblocks = Stdlib.max 1 (n / sample_block) in
+  let samples = Array.make nblocks 0.0 in
+  let c = pin p in
+  let s = K.scratch () in
+  let sctr = K.counters () in
+  for b = 0 to nblocks - 1 do
+    let lo = b * sample_block in
+    let hi = Stdlib.min n (lo + sample_block) in
+    let t0 = Unix.gettimeofday () in
+    (match c.K.tier with
+    | Some tp ->
+        for i = lo to hi - 1 do
+          let pat = Int32.to_int (Bigarray.Array1.unsafe_get inb i) land 0xFFFF_FFFF in
+          Bigarray.Array1.unsafe_set outb i (Int32.of_int (K.eval_tiered_tp c tp s sctr pat))
+        done
+    | None ->
+        for i = lo to hi - 1 do
+          let pat = Int32.to_int (Bigarray.Array1.unsafe_get inb i) land 0xFFFF_FFFF in
+          Bigarray.Array1.unsafe_set outb i (Int32.of_int (K.eval_counted c s sctr pat))
+        done);
+    samples.(b) <- (Unix.gettimeofday () -. t0) /. float_of_int (hi - lo) *. 1e9
+  done;
+  Array.sort compare samples;
   {
     n;
     batches;
     calls_per_sec = float_of_int (n * batches) /. !total;
-    p50_ns = percentile per_call_ns 0.50;
-    p99_ns = percentile per_call_ns 0.99;
+    p50_ns = percentile samples 0.50;
+    p99_ns = percentile samples 0.99;
+    tier_prefix = ctr.(K.c_prefix);
+    tier_full = ctr.(K.c_full);
+    tier_fallback = ctr.(K.c_fallback);
   }

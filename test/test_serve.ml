@@ -273,6 +273,178 @@ let test_measure () =
 let test_par_min_config () =
   Alcotest.(check int) "default par_min" (1 lsl 14) Rlibm.Config.default.batch_par_min
 
+(* ------------------------------------------------------------------ *)
+(* Progressive tier (RLIBM-PROG): the prefix tier is a serving detail, *)
+(* never a semantic one — tiered output must be bit-identical to the   *)
+(* full kernel and the scalar path on every input, and a certificate   *)
+(* miss escalates instead of deciding.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prog_cfg = { Rlibm.Config.default with progressive = true }
+
+(* Tiered vs full kernel vs scalar, across targets x functions x all
+   five standard modes (exhaustive16 under RLIBM_EXHAUSTIVE).  Combos
+   whose generation certifies no prefix still run — the tiered pipeline
+   then takes the counted full path, which must agree all the same. *)
+let tier_identity16 (base : S.target) name mode () =
+  let t = if mode = Fp.Rounding_mode.Rne then base else S.with_mode base mode in
+  let g = Funcs.Libm.get ~cfg:prog_cfg t name in
+  let p =
+    match Funcs.Kernels.of_generated g with
+    | Some p -> p
+    | None -> Alcotest.failf "%s %s: no kernel" t.tname name
+  in
+  let src = patterns16 () in
+  let n = Array.length src in
+  let dst = Array.make n 0 in
+  let ctr = K.counters () in
+  R.patterns_tiered p src dst ctr;
+  let dst_full = Array.make n 0 in
+  R.patterns { p with K.tier = None } src dst_full;
+  Array.iteri
+    (fun i pat ->
+      let want = G.eval_pattern g pat in
+      if dst.(i) <> want then
+        Alcotest.failf "%s %s @%s: pattern %04x: tiered %04x <> scalar %04x" t.tname name
+          (Fp.Rounding_mode.to_string mode)
+          pat dst.(i) want;
+      if dst_full.(i) <> want then
+        Alcotest.failf "%s %s @%s: pattern %04x: full kernel %04x <> scalar %04x" t.tname name
+          (Fp.Rounding_mode.to_string mode)
+          pat dst_full.(i) want)
+    src;
+  (* Every call lands in exactly one tier counter. *)
+  Alcotest.(check int)
+    (Printf.sprintf "%s %s @%s: tier counts conserve" t.tname name
+       (Fp.Rounding_mode.to_string mode))
+    n
+    (ctr.(K.c_prefix) + ctr.(K.c_full) + ctr.(K.c_fallback))
+
+let tier_identity_cases () =
+  let combos =
+    if exhaustive then
+      List.concat_map
+        (fun t -> List.map (fun f -> (t, f)) [ "log2"; "exp" ])
+        [ S.bfloat16; S.float16 ]
+    else [ (S.bfloat16, "log2"); (S.float16, "exp") ]
+  in
+  List.concat_map
+    (fun ((t : S.target), f) ->
+      List.map
+        (fun mode ->
+          Alcotest.test_case
+            (Printf.sprintf "tiered %s %s @%s" t.tname f (Fp.Rounding_mode.to_string mode))
+            `Slow (tier_identity16 t f mode))
+        Fp.Rounding_mode.standard)
+    combos
+
+(* The acceptance workload: bfloat16 log2 must actually certify a tier,
+   and a uniform mix must serve >= 90% of calls from the prefix. *)
+let test_tier_fast_share () =
+  let g = Funcs.Libm.get ~cfg:prog_cfg S.bfloat16 "log2" in
+  let p = Option.get (Funcs.Kernels.of_generated g) in
+  let tp =
+    match p.K.tier with
+    | Some tp -> tp
+    | None -> Alcotest.fail "bfloat16 log2: no certified prefix tier"
+  in
+  Alcotest.(check bool) "prefix is strict" true (tp.(0).K.tk >= 1);
+  let n = 8192 in
+  let src = W.gen p ~mix:W.Uniform ~seed:9 ~n in
+  let dst = Array.make n 0 in
+  let ctr = K.counters () in
+  R.patterns_tiered ~jobs:1 p src dst ctr;
+  Alcotest.(check int) "counts conserve" n (ctr.(K.c_prefix) + ctr.(K.c_full) + ctr.(K.c_fallback));
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform >= 90%% prefix tier (got %d/%d)" ctr.(K.c_prefix) n)
+    true
+    (ctr.(K.c_prefix) * 10 >= n * 9)
+
+(* Miss-never-wrong, adversarially: poison a pseudo-random subset of the
+   dense certificate rows with NaN (the kernel's miss marker) in a
+   cloned plan.  Every poisoned bucket becomes a forced certificate
+   miss — outputs must stay bit-identical to the scalar path, and the
+   forced misses must surface as full-polynomial counts, not prefix
+   counts.  This drives the escalation path even when the real
+   certificates cover 100% of the workload. *)
+let test_miss_never_wrong () =
+  let g = Funcs.Libm.get ~cfg:prog_cfg S.bfloat16 "log2" in
+  let p = Option.get (Funcs.Kernels.of_generated g) in
+  if p.K.tier = None then Alcotest.fail "bfloat16 log2: no certified prefix tier";
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:25 ~name:"certificate miss escalates, never decides"
+       (QCheck.pair (QCheck.int_range 1 7) (QCheck.int_bound 100_000))
+       (fun (keep_mod, seed) ->
+         let q = K.clone p in
+         (match q.K.tier with
+         | None -> ()
+         | Some tps ->
+             Array.iter
+               (fun (tp : K.tpiece) ->
+                 List.iter
+                   (fun (tc : K.tcert) ->
+                     let rows = Array.length tc.K.t_coeffs / max 1 tp.K.tk in
+                     for row = 0 to rows - 1 do
+                       (* Deterministic pseudo-random poisoning. *)
+                       if (row + seed) mod keep_mod <> 0 then
+                         for j = 0 to tp.K.tk - 1 do
+                           tc.K.t_coeffs.((row * tp.K.tk) + j) <- Float.nan
+                         done
+                     done)
+                   [ tp.K.tneg; tp.K.tpos ])
+               tps);
+         let n = 2048 in
+         let src = W.gen p ~mix:W.Uniform ~seed ~n in
+         let dst = Array.make n 0 in
+         let ctr = K.counters () in
+         R.patterns_tiered ~jobs:1 ~par_min:max_int q src dst ctr;
+         Array.for_all2 (fun got pat -> got = G.eval_pattern g pat) dst src
+         && ctr.(K.c_prefix) + ctr.(K.c_full) + ctr.(K.c_fallback) = n))
+
+(* The tiered pipeline keeps the serving path's zero-allocation
+   contract: certificate probes are integer/float ops over preallocated
+   dense tables, and the counters are a plain int array. *)
+let test_tier_zero_alloc () =
+  let g = Funcs.Libm.get ~cfg:prog_cfg S.bfloat16 "log2" in
+  let p = Option.get (Funcs.Kernels.of_generated g) in
+  if p.K.tier = None then Alcotest.fail "bfloat16 log2: no certified prefix tier";
+  let n = 65536 in
+  let src = W.gen p ~mix:W.Uniform ~seed:42 ~n in
+  let dst = Array.make n 0 in
+  let ctr = K.counters () in
+  R.patterns_tiered ~jobs:1 ~par_min:max_int p src dst ctr;
+  R.patterns_tiered ~jobs:1 ~par_min:max_int p src dst ctr;
+  let w0 = Gc.minor_words () in
+  R.patterns_tiered ~jobs:1 ~par_min:max_int p src dst ctr;
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 1024.0 then
+    Alcotest.failf "tiered serving path allocates: %.0f minor words for %d uniform calls" dw n
+
+(* Tier metadata invariants on every kernel-capable combo that certified
+   one: strict prefix (tk < nt is enforced at lowering), dense tables
+   sized rows * tk, and the non-progressive generation of the same
+   function carries no tier at all (the classic path is untouched). *)
+let test_tier_shape () =
+  let g = Funcs.Libm.get ~cfg:prog_cfg S.bfloat16 "log2" in
+  let p = Option.get (Funcs.Kernels.of_generated g) in
+  (match p.K.tier with
+  | None -> Alcotest.fail "bfloat16 log2: no certified prefix tier"
+  | Some tps ->
+      Array.iteri
+        (fun i (tp : K.tpiece) ->
+          Alcotest.(check bool) (Printf.sprintf "piece %d: tk >= 1" i) true (tp.K.tk >= 1);
+          List.iter
+            (fun (tc : K.tcert) ->
+              Alcotest.(check int)
+                (Printf.sprintf "piece %d: dense rows divide evenly" i)
+                0
+                (Array.length tc.K.t_coeffs mod tp.K.tk))
+            [ tp.K.tneg; tp.K.tpos ])
+        tps);
+  let g0 = Funcs.Libm.get S.bfloat16 "log2" in
+  let p0 = Option.get (Funcs.Kernels.of_generated g0) in
+  Alcotest.(check bool) "classic generation has no tier" true (p0.K.tier = None)
+
 let () =
   Alcotest.run "serve"
     [
@@ -294,5 +466,13 @@ let () =
           Alcotest.test_case "workload mixes" `Quick test_workload;
           Alcotest.test_case "slo measure" `Quick test_measure;
           Alcotest.test_case "par_min config" `Quick test_par_min_config;
+        ] );
+      ("tier_identity16", tier_identity_cases ());
+      ( "tier",
+        [
+          Alcotest.test_case "uniform fast-tier share" `Quick test_tier_fast_share;
+          Alcotest.test_case "miss never wrong (qcheck)" `Slow test_miss_never_wrong;
+          Alcotest.test_case "zero alloc (tiered)" `Quick test_tier_zero_alloc;
+          Alcotest.test_case "tier shape invariants" `Quick test_tier_shape;
         ] );
     ]
