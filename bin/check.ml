@@ -27,20 +27,30 @@ type lib = { lname : string; eval : int -> int }
 let libraries (t : Funcs.Specs.target) name (g : G.generated) =
   let module T = (val t.repr) in
   let spec = g.spec in
-  [
-    { lname = "rlibm-32"; eval = G.eval_pattern g };
-    { lname = "libm-float(native)"; eval = Baselines.Native.eval_pattern Baselines.Native.F32 t name };
-    { lname = "libm-double(native)"; eval = Baselines.Native.eval_pattern Baselines.Native.F64 t name };
-    { lname = "glibc-double"; eval = Baselines.Double_libm.eval t.repr name };
-    {
-      lname = "crlibm(double-rounded)";
-      eval =
-        (fun pat ->
-          match spec.special pat with
-          | Some y -> y
-          | None -> Baselines.Crlibm_analog.round_via_double t.repr spec.oracle pat);
-    };
-  ]
+  (* A baseline that does not implement [name] (the native simulations
+     have no radian-trig path, for instance) drops its row from the
+     table instead of aborting the whole run. *)
+  let if_known lname mk =
+    try Some { lname; eval = mk () } with Invalid_argument _ -> None
+  in
+  List.filter_map Fun.id
+    [
+      Some { lname = "rlibm-32"; eval = G.eval_pattern g };
+      if_known "libm-float(native)" (fun () ->
+          Baselines.Native.eval_pattern Baselines.Native.F32 t name);
+      if_known "libm-double(native)" (fun () ->
+          Baselines.Native.eval_pattern Baselines.Native.F64 t name);
+      if_known "glibc-double" (fun () -> Baselines.Double_libm.eval t.repr name);
+      Some
+        {
+          lname = "crlibm(double-rounded)";
+          eval =
+            (fun pat ->
+              match spec.special pat with
+              | Some y -> y
+              | None -> Baselines.Crlibm_analog.round_via_double t.repr spec.oracle pat);
+        };
+    ]
 
 let check_function (t : Funcs.Specs.target) name ~fresh_per_stratum ~quality =
   let module T = (val t.repr) in

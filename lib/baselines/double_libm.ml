@@ -21,6 +21,9 @@ let fn = function
   | "exp10" -> fun x -> Float.pow 10.0 x
   | "sinh" -> Float.sinh
   | "cosh" -> Float.cosh
+  | "sin" -> Float.sin
+  | "cos" -> Float.cos
+  | "tan" -> Float.tan
   (* No sinpi/cospi in libm: the usual user spelling. *)
   | "sinpi" -> fun x -> Float.sin (pi *. x)
   | "cospi" -> fun x -> Float.cos (pi *. x)

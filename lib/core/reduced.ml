@@ -76,8 +76,30 @@ let deduce (spec : Spec.t) ~pattern ~(interval : Rounding.t) =
       (* Widen every component k steps in direction [dir]. *)
       Rounding.contains interval (spec.compensate rr (Array.map (fun vi -> Fp.Fp64.advance vi k) v))
     in
-    let kd = Rounding.search_max (fun k -> ok (-k)) max_widen in
-    let ku = Rounding.search_max ok max_widen in
+    let ok_corners k =
+      (* Mixed-monotone OC (tan's quotient): the extreme of a
+         coordinate-wise monotone OC over the box [v_i - k, v_i + k]^n
+         sits at a corner, so probe all 2^n sign combinations. *)
+      let rec go c =
+        c >= 1 lsl n
+        || Rounding.contains interval
+             (spec.compensate rr
+                (Array.mapi
+                   (fun i vi -> Fp.Fp64.advance vi (if c land (1 lsl i) <> 0 then k else -k))
+                   v))
+           && go (c + 1)
+      in
+      go 0
+    in
+    let kd, ku =
+      if spec.oc_corners then begin
+        (* The corner box is symmetric: asymmetric [(-kd, +ku)] sides
+           would mix per-component directions the search never probed. *)
+        let k = Rounding.search_max ok_corners max_widen in
+        (k, k)
+      end
+      else (Rounding.search_max (fun k -> ok (-k)) max_widen, Rounding.search_max ok max_widen)
+    in
     (* Openness transfer.  The widening above probes doubles, so the
        boxes it returns are closed.  When the rounding interval has an
        open side, the true component constraint is strict exactly when
@@ -89,8 +111,12 @@ let deduce (spec : Spec.t) ~pattern ~(interval : Rounding.t) =
        maximal and stays closed (sound either way — the final validation
        pass re-checks the run-time path). *)
     let step k = spec.compensate rr (Array.map (fun vi -> Fp.Fp64.advance vi k) v) in
-    let hi_ext = interval.hi_open && step (ku + 1) = interval.hi in
-    let lo_ext = interval.lo_open && step (-(kd + 1)) = interval.lo in
+    (* Corner mode keeps closed boxes: the diagonal [step] probe below
+       says nothing about a mixed-direction boundary preimage (and the
+       corner families are nearest-mode only, where intervals are
+       closed anyway). *)
+    let hi_ext = (not spec.oc_corners) && interval.hi_open && step (ku + 1) = interval.hi in
+    let lo_ext = (not spec.oc_corners) && interval.lo_open && step (-(kd + 1)) = interval.lo in
     let cons =
       Array.init n (fun i ->
           {

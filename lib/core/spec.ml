@@ -45,7 +45,20 @@ type t = {
   components : component array;
   compensate : reduction -> float array -> float;
       (* OC_H: component values at [r] -> double result for x.  Must be
-         jointly monotone in the component values (§3.2). *)
+         jointly monotone in the component values (§3.2) unless
+         [oc_corners] is set. *)
+  oc_corners : bool;
+      (* The §3.2 deduction widens all components jointly and probes the
+         diagonal, which is sound only when OC is monotone in the same
+         direction in every component.  A quotient OC (tan = sin/cos) is
+         monotone in each component separately but in *opposite*
+         directions, so the box extremes live at corners: setting this
+         makes {!Reduced.deduce} probe every sign combination of the
+         (symmetric) widening instead of the diagonal.  Sound whenever OC
+         is coordinate-wise monotone over the probed box — for a
+         quotient, whenever the denominator box cannot reach zero, which
+         the [max_widen] clamp guarantees (2^50 double-ulps never cross a
+         binade's worth of magnitude). *)
   split_hint : int;
       (* Designer-chosen starting split depth (2^hint sub-domains): the
          paper's performance criterion (§3.3, Table 3 ships 2^6..2^14

@@ -97,7 +97,7 @@ let family_check (t : Specs.target) name : (K.family * K.check) option =
   | "log1p" ->
       Some
         ( K.Log { escale = once Tables.ln2_d; f_tbl = Array.copy (once Tables.ln_f); add_one = true },
-          K.Chk_log1p { snap = Float.ldexp 1.0 (-26) } )
+          K.Chk_log1p { snap = Specs.log1p_snap t } )
   | "exp" ->
       let inv_c, hi, lo = exp_consts () in
       Some
@@ -126,20 +126,20 @@ let family_check (t : Specs.target) name : (K.family * K.check) option =
       let inv_c, hi, lo = exp_consts () in
       Some
         ( K.Exp { inv_c; cw_hi = hi; cw_lo = lo; t2 = Array.copy (once Tables.exp2_j); minus_one = true },
-          K.Chk_signed { hi = t.exp_hi; lo = t.expm1_lo; snap = Float.ldexp 1.0 (-26) } )
+          K.Chk_signed { hi = t.exp_hi; lo = t.expm1_lo; snap = Specs.expm1_snap t } )
   | "tanh" ->
       let inv_c, hi, lo = exp_consts () in
       Some
         ( K.Tanh { inv_c; cw_hi = hi; cw_lo = lo; t2 = Array.copy (once Tables.exp2_j) },
-          K.Chk_abs { hi = t.tanh_hi; snap = Float.ldexp 1.0 (-13) } )
+          K.Chk_abs { hi = t.tanh_hi; snap = Specs.tanh_snap t } )
   | "sinh" ->
       Some
         ( K.Sinh { sh = Array.copy (once Tables.sinh_n); ch = Array.copy (once Tables.cosh_n) },
-          K.Chk_abs { hi = t.sinh_hi; snap = Float.ldexp 1.0 (-13) } )
+          K.Chk_abs { hi = t.sinh_hi; snap = Specs.sinh_snap t } )
   | "cosh" ->
       Some
         ( K.Cosh { sh = Array.copy (once Tables.sinh_n); ch = Array.copy (once Tables.cosh_n) },
-          K.Chk_abs { hi = t.sinh_hi; snap = Float.ldexp 1.0 (-13) } )
+          K.Chk_abs { hi = t.sinh_hi; snap = Specs.cosh_snap t } )
   | "sinpi" ->
       Some
         ( K.Sinpi { spn = Array.copy (once Tables.sinpi_n); cpn = Array.copy (once Tables.cospi_n) },
@@ -147,7 +147,14 @@ let family_check (t : Specs.target) name : (K.family * K.check) option =
   | "cospi" ->
       Some
         ( K.Cospi { spn = Array.copy (once Tables.sinpi_n); cpn = Array.copy (once Tables.cospi_n) },
-          K.Chk_abs { hi = t.trig_int; snap = Float.ldexp 1.0 (-13) } )
+          K.Chk_abs { hi = t.trig_int; snap = Specs.cospi_snap t } )
+  | "sin" | "cos" | "tan" ->
+      (* No flat kernel for the radian trig family: the degree-7
+         component shapes fall outside the four shipped Horner shapes
+         and the Payne–Hanek reduction has no field-decode fast path.
+         Callers stay on the boxed scalar closure, which replays the
+         exact generation-time arithmetic. *)
+      None
   | _ -> None
 
 (* Lower the generator's progressive certificates into the kernel's

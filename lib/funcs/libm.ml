@@ -105,6 +105,9 @@ module F32 = struct
   let cosh ?quality () = fn ?quality "cosh"
   let sinpi ?quality () = fn ?quality "sinpi"
   let cospi ?quality () = fn ?quality "cospi"
+  let sin ?quality () = fn ?quality "sin"
+  let cos ?quality () = fn ?quality "cos"
+  let tan ?quality () = fn ?quality "tan"
 end
 
 (* ------------------------------------------------------------------ *)

@@ -20,7 +20,9 @@ val enumeration : Specs.target -> quality -> int array
 (** [get ?quality ?cfg target name] generates (or fetches) one function.
     Names: the paper's ten — ["ln"], ["log2"], ["log10"], ["exp"],
     ["exp2"], ["exp10"], ["sinh"], ["cosh"], ["sinpi"], ["cospi"] — plus
-    the extensions ["tanh"], ["expm1"], ["log1p"].
+    the extensions ["tanh"], ["expm1"], ["log1p"] and the full-range
+    radian trig family ["sin"], ["cos"], ["tan"] (Payne–Hanek
+    reduction; IEEE targets only).
     @raise Failure when generation fails (a spec bug, not a user error).
     @raise Invalid_argument on an unknown name. *)
 val get :
@@ -45,6 +47,9 @@ module F32 : sig
   val cosh : ?quality:quality -> unit -> float -> float
   val sinpi : ?quality:quality -> unit -> float -> float
   val cospi : ?quality:quality -> unit -> float -> float
+  val sin : ?quality:quality -> unit -> float -> float
+  val cos : ?quality:quality -> unit -> float -> float
+  val tan : ?quality:quality -> unit -> float -> float
 end
 
 (** Posit32 convenience API: patterns in, patterns out. *)

@@ -12,9 +12,12 @@
    - [trig_int]: |x| at which every representable value is an integer,
      so sinpi = 0 and cospi = +-1 exactly.
 
-   Inputs with |x| below 2^-13 short-circuit for sinh (result x), cosh
-   (result 1): the quadratic/cubic term is provably below half an ulp
-   for every 16/32-bit target (see test_specs for the machine check). *)
+   Tiny-input short-circuits (sinh/tanh/sin/tan/expm1/log1p result x;
+   cosh/cos/cospi result 1) use the named per-target thresholds defined
+   below ([sinh_snap] and friends), each derived from the target's
+   precision so the first neglected Taylor term is provably below half
+   an ulp of the result; test/test_specs.ml brute-forces every
+   threshold against the oracle around its boundary. *)
 
 module S = Rlibm.Spec
 module R = Reductions
@@ -273,6 +276,62 @@ let with_mode (t : target) mode =
       { t with mode; ovf_pos = ovf 1; ovf_neg = ovf (-1); und_pos = und }
 
 (* ------------------------------------------------------------------ *)
+(* Tiny-input thresholds.
+   Each snap below is the largest power of two 2^-e such that the first
+   neglected Taylor term stays strictly below half an ulp of the result
+   for every representable |x| <= 2^-e, with the binade edge (where the
+   ulp halves on one side) as the binding case.  [p] is the precision in
+   significant bits including the hidden bit.  Derivations, with
+   half-gap = half the pattern spacing on the side the error points to:
+
+   - sinh x = x + x^3/6 + ... > x; worst at a binade top (x < 2^(k+1),
+     half-gap above = 2^(k-p)): x^3/6 < 2^(k-p) <== x^2 < 3*2^-p,
+     so e = floor(p/2) gives x^2 <= 2^-(2*floor(p/2)) <= 2*2^-p with a
+     >= 1.5x margin absorbing the series tail.
+   - tanh x = x - x^3/3 + ... < x, and tan x = x + x^3/3 + ... > x: the
+     x^3/3 term needs x^2 < 1.5*2^-p, so e = ceil(p/2).  sin x (term
+     x^3/6, below x) shares tan's threshold.
+   - cosh x = 1 + x^2/2 + ... > 1 (half-gap above 1 = 2^-p):
+     x^2 < 2^(1-p), e = ceil(p/2).
+   - cos x = 1 - x^2/2 + ... < 1 (half-gap *below* 1 = 2^-(p+1), one
+     binade tighter): x^2 < 2^-p, e = floor(p/2) + 1.
+   - cospi x = 1 - (pi x)^2/2 + ... < 1: (pi x)^2 < 2^-p, so
+     e = ceil((p + log2 pi^2)/2) = floor((p+5)/2).  The seed's flat
+     2^-13 was *unsound* here for float32 (p = 24 needs e = 14:
+     (pi*2^-13)^2/2 ~ 2^-23.7 is ~2.3 ulps below 1) and for posit32.
+   - expm1 x = x + x^2/2 + ... and log1p x = x - x^2/2 + ...: the error
+     points across the binade edge at |x| = 2^k (half-gap 2^(k-p-1)),
+     giving |x| < 2^-p; e = p + 1 keeps a 2x margin.
+
+   For posits [p] is the maximum (tapered) precision, reached in the
+   binade of 1.0; away from 1 the relative spacing only widens, so every
+   x-passthrough threshold derived from it is conservative.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Precision in significant bits (including the hidden bit) in the
+   binade of 1.0. *)
+let precision (t : target) =
+  match t.fmt with
+  | Some f -> f.Fp.Ieee.mb + 1
+  | None -> (
+      (* posit<n,es>: 1.0 sits next to the shortest regime, leaving
+         n - 2 - es significant bits. *)
+      match t.tname with
+      | "posit32" -> 28
+      | "posit16" -> 13
+      | _ -> invalid_arg ("Specs.precision: unknown posit target " ^ t.tname))
+
+let snap e = Float.ldexp 1.0 (-e)
+let sinh_snap t = snap (precision t / 2)
+let tanh_snap t = snap ((precision t + 1) / 2)
+let trig_snap t = snap ((precision t + 1) / 2)
+let cosh_snap t = snap ((precision t + 1) / 2)
+let cos_snap t = snap ((precision t / 2) + 1)
+let cospi_snap t = snap ((precision t + 5) / 2)
+let expm1_snap t = snap (precision t + 1)
+let log1p_snap t = snap (precision t + 1)
+
+(* ------------------------------------------------------------------ *)
 (* Special-case builders.                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -315,65 +374,94 @@ let log_family_special (t : target) =
       if x = 0.0 then Some t.log_zero else if x < 0.0 then Some t.nan else None)
 
 let sinh_special (t : target) =
+  let tiny = sinh_snap t in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.neg_inf (fun x pat ->
       if x >= t.sinh_hi then Some t.ovf_pos
       else if x <= -.t.sinh_hi then Some t.ovf_neg
-      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some pat (* sinh x ~ x *)
+      else if Float.abs x <= tiny then Some pat (* sinh x ~ x *)
       else None)
 
 let cosh_special (t : target) =
   let module T = (val t.repr) in
   let one = T.of_double 1.0 in
+  let tiny = cosh_snap t in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.pos_inf (fun x _pat ->
       if Float.abs x >= t.sinh_hi then Some t.ovf_pos
-      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some one
+      else if Float.abs x <= tiny then Some one
       else None)
 
 let sinpi_special (t : target) =
   let module T = (val t.repr) in
   with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x _pat ->
-      if Float.abs x >= t.trig_int then Some 0 (* integer input: sinpi = 0 *)
+      if Float.abs x >= t.trig_int then
+        (* Integer input: sinpi is odd, so the exact zero carries the
+           sign of x (-0 for negative integers; posits collapse both
+           signs onto their single zero). *)
+        Some (T.of_double (Float.copy_sign 0.0 x))
       else if Float.abs x <= t.trig_tiny then
         (* pi*x in double, rounded once: the cubic term is below half an
-           ulp at this threshold (paper §2, first special class). *)
+           ulp at this threshold (paper §2, first special class); the
+           product preserves the sign of x, so sinpi(-0) = -0. *)
         Some (T.of_double (Parallel.Once.get Tables.pi_d *. x))
       else None)
 
 let cospi_special (t : target) =
   let module T = (val t.repr) in
   let one = T.of_double 1.0 and minus_one = T.of_double (-1.0) in
+  let tiny = cospi_snap t in
   with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x _pat ->
       let a = Float.abs x in
       if a >= t.trig_int then
         (* Every such value is an integer; Float.rem is exact. *)
         Some (if Float.rem a 2.0 = 1.0 then minus_one else one)
-      else if a <= Float.ldexp 1.0 (-13) then Some one
+      else if a <= tiny then Some one
       else None)
 
 let tanh_special (t : target) =
   let module T = (val t.repr) in
   let one = T.of_double 1.0 and minus_one = T.of_double (-1.0) in
+  let tiny = tanh_snap t in
   with_classify t ~on_pos_inf:one ~on_neg_inf:minus_one (fun x pat ->
       if x >= t.tanh_hi then Some one
       else if x <= -.t.tanh_hi then Some minus_one
-      else if Float.abs x <= Float.ldexp 1.0 (-13) then Some pat (* tanh x ~ x *)
+      else if Float.abs x <= tiny then Some pat (* tanh x ~ x *)
       else None)
 
 let expm1_special (t : target) =
   let module T = (val t.repr) in
   let minus_one = T.of_double (-1.0) in
+  let tiny = expm1_snap t in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:minus_one (fun x pat ->
       if x >= t.exp_hi then Some t.ovf_pos
       else if x <= t.expm1_lo then Some minus_one
-      else if Float.abs x <= Float.ldexp 1.0 (-26) then Some pat (* expm1 x ~ x *)
+      else if Float.abs x <= tiny then Some pat (* expm1 x ~ x *)
       else None)
 
 let log1p_special (t : target) =
+  let tiny = log1p_snap t in
   with_classify t ~on_pos_inf:t.pos_inf ~on_neg_inf:t.nan (fun x pat ->
       if x < -1.0 then Some t.nan
       else if x = -1.0 then Some t.log_zero
-      else if Float.abs x <= Float.ldexp 1.0 (-26) then Some pat (* log1p x ~ x *)
+      else if Float.abs x <= tiny then Some pat (* log1p x ~ x *)
       else None)
+
+(* Radian trig: NaN for infinities; the only other specials are the
+   tiny-input snaps (sin x ~ x, tan x ~ x, cos x ~ 1) — every other
+   finite input goes through the Payne–Hanek reduction.  The pattern
+   passthrough preserves signed zero (sin/tan are odd). *)
+let sin_special (t : target) =
+  let tiny = trig_snap t in
+  with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x pat ->
+      if Float.abs x <= tiny then Some pat else None)
+
+let tan_special = sin_special
+
+let cos_special (t : target) =
+  let module T = (val t.repr) in
+  let one = T.of_double 1.0 in
+  let tiny = cos_snap t in
+  with_classify t ~on_pos_inf:t.nan ~on_neg_inf:t.nan (fun x _pat ->
+      if Float.abs x <= tiny then Some one else None)
 
 (* ------------------------------------------------------------------ *)
 (* Components.                                                         *)
@@ -428,6 +516,31 @@ let cosh_r_component =
     dom_neg = None;
   }
 
+(* Radian trig components: one sin/cos pair on the Payne–Hanek +
+   table-fold reduced domain |r| <= pi/1024 serves sin, cos and tan
+   (quotient).  The residual is signed (r1 rounds to the nearest
+   pi/512 grid point), so both sign groups are fitted, like the exp
+   family's. *)
+let trig_dom_neg, trig_dom_pos = R.trig_dom
+
+let sin_r_component =
+  {
+    S.cname = "sin_r";
+    coracle = E.sin;
+    terms = [| 1; 3; 5 |];
+    dom_pos = trig_dom_pos;
+    dom_neg = trig_dom_neg;
+  }
+
+let cos_r_component =
+  {
+    S.cname = "cos_r";
+    coracle = E.cos;
+    terms = [| 0; 2; 4 |];
+    dom_pos = trig_dom_pos;
+    dom_neg = trig_dom_neg;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Specs.                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -442,6 +555,7 @@ let ln (t : target) =
     reduce = R.log_reduce;
     components = [| log_component "ln_1p" E.ln_1p |];
     compensate = R.ln_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -455,6 +569,7 @@ let log2 (t : target) =
     reduce = R.log_reduce;
     components = [| log_component "log2_1p" E.log2_1p |];
     compensate = R.log2_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -468,6 +583,7 @@ let log10 (t : target) =
     reduce = R.log_reduce;
     components = [| log_component "log10_1p" E.log10_1p |];
     compensate = R.log10_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -484,6 +600,7 @@ let exp (t : target) =
           ~cw:(Parallel.Once.get Tables.ln2_over_64) x);
     components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
     compensate = R.exp_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -497,6 +614,7 @@ let exp2 (t : target) =
     reduce = R.exp2_reduce;
     components = [| exp_component "exp2_r" E.exp2 ~half_width:0.0078125 |];
     compensate = R.exp_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -513,6 +631,7 @@ let exp10 (t : target) =
           ~cw:(Parallel.Once.get Tables.log10_2_over_64) x);
     components = [| exp_component "exp10_r" E.exp10 ~half_width:0.0023526 |];
     compensate = R.exp_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -526,6 +645,7 @@ let sinh (t : target) =
     reduce = R.sinhcosh_reduce;
     components = [| sinh_r_component; cosh_r_component |];
     compensate = R.sinh_compensate;
+    oc_corners = false;
     split_hint = 4;
   }
 
@@ -539,6 +659,7 @@ let cosh (t : target) =
     reduce = R.sinhcosh_reduce;
     components = [| sinh_r_component; cosh_r_component |];
     compensate = R.cosh_compensate;
+    oc_corners = false;
     split_hint = 4;
   }
 
@@ -552,6 +673,7 @@ let sinpi (t : target) =
     reduce = R.sinpi_reduce;
     components = [| sinpi_r_component; cospi_r_component |];
     compensate = R.sinpi_compensate;
+    oc_corners = false;
     split_hint = 2;
   }
 
@@ -565,6 +687,7 @@ let cospi (t : target) =
     reduce = R.cospi_reduce;
     components = [| sinpi_r_component; cospi_r_component |];
     compensate = R.cospi_compensate;
+    oc_corners = false;
     split_hint = 2;
   }
 
@@ -578,6 +701,7 @@ let tanh (t : target) =
     reduce = R.tanh_reduce;
     components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
     compensate = R.tanh_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -593,6 +717,7 @@ let expm1 (t : target) =
         R.exp_reduce ~inv_c:92.332482616893656877 ~cw:(Parallel.Once.get Tables.ln2_over_64) x);
     components = [| exp_component "exp_r" E.exp ~half_width:0.0054182 |];
     compensate = R.expm1_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
@@ -606,11 +731,57 @@ let log1p (t : target) =
     reduce = R.log1p_reduce;
     components = [| log_component "ln_1p" E.ln_1p |];
     compensate = R.ln_compensate;
+    oc_corners = false;
     split_hint = 6;
   }
 
+let sin (t : target) =
+  {
+    S.name = "sin";
+    repr = t.repr;
+    mode = t.mode;
+    oracle = E.sin;
+    special = sin_special t;
+    reduce = R.trig_reduce;
+    components = [| sin_r_component; cos_r_component |];
+    compensate = R.sin_compensate;
+    (* The angle-sum OCs mix coefficient signs (cpn*v1 - spn*v0), so no
+       trig OC is jointly monotone along the diagonal: all three specs
+       probe box corners. *)
+    oc_corners = true;
+    split_hint = 3;
+  }
+
+let cos (t : target) =
+  {
+    S.name = "cos";
+    repr = t.repr;
+    mode = t.mode;
+    oracle = E.cos;
+    special = cos_special t;
+    reduce = R.trig_reduce;
+    components = [| sin_r_component; cos_r_component |];
+    compensate = R.cos_compensate;
+    oc_corners = true;
+    split_hint = 3;
+  }
+
+let tan (t : target) =
+  {
+    S.name = "tan";
+    repr = t.repr;
+    mode = t.mode;
+    oracle = E.tan;
+    special = tan_special t;
+    reduce = R.trig_reduce;
+    components = [| sin_r_component; cos_r_component |];
+    compensate = R.tan_compensate;
+    oc_corners = true;
+    split_hint = 3;
+  }
+
 (** The paper's function sets. *)
-let float_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "cosh"; "sinpi"; "cospi" ]
+let float_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "cosh"; "sinpi"; "cospi"; "sin"; "cos"; "tan" ]
 
 let posit_functions = [ "ln"; "log2"; "log10"; "exp"; "exp2"; "exp10"; "sinh"; "cosh" ]
 
@@ -648,6 +819,9 @@ let by_name name t =
     | "tanh" -> tanh t
     | "expm1" -> expm1 t
     | "log1p" -> log1p t
+    | "sin" -> sin t
+    | "cos" -> cos t
+    | "tan" -> tan t
     | _ -> invalid_arg ("Specs.by_name: unknown function " ^ name)
   in
   (* Posit rounding intervals are tighter near 1 (tapered precision), so

@@ -46,6 +46,15 @@ let split q =
 let ln2_over_64 =
   Once.make (fun () -> split (Q.mul_pow2 (Oracle.Bigfloat.to_rational (E.ln2 ~prec:140)) (-6)))
 
+(* pi/512 for the trig second-level reduction (n*hi exact for n <= 128),
+   and 512/pi as a plain double for picking n. *)
+let pi_over_512 =
+  Once.make (fun () -> split (Q.mul_pow2 (Oracle.Bigfloat.to_rational (E.pi ~prec:140)) (-9)))
+
+let inv_pi_512 =
+  Once.make (fun () ->
+      Q.to_float (Q.div (Q.of_int 512) (Oracle.Bigfloat.to_rational (E.pi ~prec:140))))
+
 let log10_2_over_64 =
   Once.make (fun () ->
     split
@@ -91,3 +100,26 @@ let cospi_n = Once.make (fun () -> Array.init 257 (fun n -> cr E.cospi (Q.of_int
 
 let sinh_n = Once.make (fun () -> Array.init 5760 (fun n -> cr E.sinh (Q.of_ints n 64)))
 let cosh_n = Once.make (fun () -> Array.init 5760 (fun n -> cr E.cosh (Q.of_ints n 64)))
+
+(* ------------------------------------------------------------------ *)
+(* sin/cos/tan: wide fixed-point 2/pi for the Payne–Hanek reduction.   *)
+(* ------------------------------------------------------------------ *)
+
+(* 2/pi as [ph_chunks] 30-bit chunks, most significant first:
+   2/pi = sum_i chunk.(i) * 2^(-30*(i+1)) + eps with 0 <= eps <
+   2^(-30*ph_chunks).  30-bit chunks keep every runtime product
+   significand * chunk below 2^56, inside the native int.  480 bits
+   cover the largest product window any trig target needs: a <= 26-bit
+   significand times 2^e with e <= 102, against a 208-bit fraction
+   window, touches 2/pi bits no deeper than position ~370. *)
+let ph_chunks = 16
+
+let two_over_pi =
+  Once.make (fun () ->
+      let bits = 30 * ph_chunks in
+      let w = bits + 64 in
+      let inv = Oracle.Bigfloat.div ~prec:w (Oracle.Bigfloat.of_int 2) (E.pi ~prec:w) in
+      let t = Q.floor (Q.mul_pow2 (Oracle.Bigfloat.to_rational inv) bits) in
+      let m30 = Bigint.shift_left Bigint.one 30 in
+      Array.init ph_chunks (fun i ->
+          Bigint.to_int_exn (Bigint.rem (Bigint.shift_right t (30 * (ph_chunks - 1 - i))) m30)))

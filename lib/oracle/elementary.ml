@@ -115,6 +115,20 @@ let sin_series ~wp t =
   done;
   !sum
 
+(* cos(t) for |t| <= pi/2: the alternating even series. *)
+let cos_series ~wp t =
+  let u = F.mul ~prec:wp t t in
+  let sum = ref F.one and term = ref F.one and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let d = ((2 * !k) - 1) * 2 * !k in
+    term := F.neg (F.div_int ~prec:wp (F.mul ~prec:wp !term u) d);
+    sum := F.add ~prec:wp !sum !term;
+    incr k;
+    if negligible ~wp ~sum:!sum !term then continue := false
+  done;
+  !sum
+
 (* atanh(z) for |z| <= 1/3. *)
 let atanh_series ~wp z =
   let u = F.mul ~prec:wp z z in
@@ -312,6 +326,83 @@ let cospi ~prec x =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sin / cos / tan (radians, full range).                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduce x to (q, r) with x = k*(pi/2) + r, |r| <= pi/4 + eps and
+   q = k mod 4.  Huge arguments cancel against k*(pi/2) almost
+   completely — the classic Payne–Hanek concern — so the working
+   precision grows with ilog2 |x|: after losing those bits to
+   cancellation, [r] still carries [wp] good bits plus slack.  The
+   oracle is off the fast path, so plain extended-precision arithmetic
+   (rather than a fixed-point 2/pi table) is the right tool here; the
+   runtime table in [Funcs.Tables] is validated against this. *)
+let trig_reduce ~wp x =
+  let mag = if Q.is_zero x then 0 else max 0 (Q.ilog2 x) in
+  (* |r| for a double input is bounded below by the worst-case closeness
+     of a 53-bit float to a multiple of pi/2 (> 2^-70); mag + 80 bits of
+     slack keep the reduced value's relative error below 2^-wp-8. *)
+  let w = wp + mag + 80 in
+  let halfpi = F.mul_pow2 (pi ~prec:w) (-1) in
+  let xf = F.of_rational ~prec:w x in
+  let k = Q.round_nearest (F.to_rational (F.div ~prec:w xf halfpi)) in
+  let r = F.sub ~prec:w xf (F.mul ~prec:w halfpi (F.of_bigint k)) in
+  let q = (B.to_int_exn (B.rem k (B.of_int 4)) + 4) land 3 in
+  (q, r)
+
+(* sin(r)/cos(r) for |r| <= pi/4 + eps, computed on |r| with the sign
+   restored (the series are used only on non-negative arguments
+   elsewhere in this file; keep that invariant). *)
+let sin_small ~wp r =
+  if F.is_zero r then F.zero
+  else begin
+    let v = sin_series ~wp (F.abs r) in
+    if F.sign r < 0 then F.neg v else v
+  end
+
+let cos_small ~wp r = cos_series ~wp (F.abs r)
+
+let sin ~prec x =
+  if Q.is_zero x then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    let q, r = trig_reduce ~wp x in
+    Approx
+      (match q with
+      | 0 -> sin_small ~wp r
+      | 1 -> cos_small ~wp r
+      | 2 -> F.neg (sin_small ~wp r)
+      | _ -> F.neg (cos_small ~wp r))
+  end
+
+let cos ~prec x =
+  if Q.is_zero x then Exact Q.one
+  else begin
+    let wp = wp_of prec in
+    let q, r = trig_reduce ~wp x in
+    Approx
+      (match q with
+      | 0 -> cos_small ~wp r
+      | 1 -> F.neg (sin_small ~wp r)
+      | 2 -> F.neg (cos_small ~wp r)
+      | _ -> sin_small ~wp r)
+  end
+
+(* tan x = sin x / cos x on the shared reduction: q even gives
+   sin(r)/cos(r), q odd gives -cos(r)/sin(r).  The denominator never
+   vanishes: cos(r) >= cos(pi/4) - eps, and sin(r) = 0 only at r = 0,
+   which requires x to be an exact multiple of pi/2 — impossible for
+   rational x other than 0 (already handled as Exact). *)
+let tan ~prec x =
+  if Q.is_zero x then Exact Q.zero
+  else begin
+    let wp = wp_of prec in
+    let q, r = trig_reduce ~wp:(wp + 10) x in
+    let s = sin_small ~wp:(wp + 10) r and c = cos_small ~wp:(wp + 10) r in
+    Approx (if q land 1 = 0 then F.div ~prec:wp s c else F.neg (F.div ~prec:wp c s))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* sinh / cosh.                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,6 +527,9 @@ let by_name = function
   | "cosh" -> cosh
   | "sinpi" -> sinpi
   | "cospi" -> cospi
+  | "sin" -> sin
+  | "cos" -> cos
+  | "tan" -> tan
   | "tanh" -> tanh
   | "expm1" -> expm1
   | "log1p" -> log1p

@@ -47,6 +47,16 @@ val cosh : fn
 val sinpi : fn
 val cospi : fn
 
+(** Radian trig over the full range: the argument is reduced by the
+    nearest multiple of [pi/2] at a working precision that grows with
+    [ilog2 |x|], so huge inputs (the Payne–Hanek regime) keep their full
+    relative accuracy.  [tan] is the quotient of the shared reduced
+    [sin]/[cos] pair.  Exact only at [x = 0] (Lindemann–Weierstrass). *)
+
+val sin : fn
+val cos : fn
+val tan : fn
+
 (** {1 Reduced-domain companions}
 
     Oracles for the component functions that appear after range
@@ -82,6 +92,6 @@ val to_double : fn -> Rational.t -> float
 
 (** Look up an oracle by the names used throughout the repo:
     ["exp"], ["exp2"], ["exp10"], ["ln"], ["log2"], ["log10"],
-    ["sinh"], ["cosh"], ["sinpi"], ["cospi"].
+    ["sinh"], ["cosh"], ["sinpi"], ["cospi"], ["sin"], ["cos"], ["tan"].
     @raise Invalid_argument on an unknown name. *)
 val by_name : string -> fn

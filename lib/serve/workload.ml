@@ -40,9 +40,15 @@ let rand_bits st mask = Int64.to_int (sm_next st) land mask
 
 (* Edge-pattern pool for the hardcase mix: NaN, the infinities, both
    zeros, both largest-finite values, the smallest subnormal of each
-   sign, and 1.0 (one_snap's neighborhood). *)
+   sign, 1.0 (one_snap's neighborhood), and a huge-argument row — a
+   finite value halfway up the exponent range, both signs.  For the
+   trig family that row lands deep in the range-reduction regime
+   (sinpi/cospi integer collapse, sin/cos/tan Payne–Hanek fallback);
+   for the exp family it saturates, and for logs it is an ordinary
+   fast-path input. *)
 let edge_pool (p : K.plan) =
   let one = p.K.o_bias lsl p.K.o_mb in
+  let huge = ((p.K.o_bias + (p.K.o_emax / 2)) lsl p.K.o_mb) lor (p.K.o_mmask lsr 1) in
   [|
     p.K.o_nan;
     p.K.o_inf_pos;
@@ -55,6 +61,8 @@ let edge_pool (p : K.plan) =
     p.K.i_sbit lor 1;
     one;
     one lor p.K.i_sbit;
+    huge;
+    huge lor p.K.i_sbit;
   |]
 
 (** [gen p ~mix ~seed ~n] is a deterministic workload of [n] input
